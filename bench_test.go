@@ -1,0 +1,292 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/collectives"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/emulate"
+	"repro/internal/faults"
+	"repro/internal/figures"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/networks"
+	"repro/internal/superip"
+	"repro/internal/symbols"
+)
+
+// Each benchmark regenerates one of the paper's evaluation artifacts, so
+// `go test -bench=.` is the full reproduction run. Rendering goes to
+// io.Discard; use cmd/figures to see the tables.
+
+func benchTable(b *testing.B, gen func() (*figures.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Fig. 1: the structure and radix-4 ranking of
+// HSN(2;Q2) = HCN(2,2) without diameter links, and HSN(3;Q2).
+func BenchmarkFig1(b *testing.B) { benchTable(b, figures.Fig1) }
+
+// BenchmarkFig2a and BenchmarkFig2b regenerate the DD-cost comparison
+// (degree x diameter vs size) of Fig. 2.
+func BenchmarkFig2a(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig2("a") })
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig2("b") })
+}
+
+// BenchmarkFig3a and BenchmarkFig3b regenerate the average I-distance and
+// I-diameter comparisons of Fig. 3 (exact 0/1-BFS measurement, <= 16 nodes
+// per module).
+func BenchmarkFig3a(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig3("a", 1<<13) })
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig3("b", 1<<13) })
+}
+
+// BenchmarkFig4a and BenchmarkFig4b regenerate the ID-cost comparison of
+// Fig. 4.
+func BenchmarkFig4a(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig4("a") })
+}
+
+func BenchmarkFig4b(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig4("b") })
+}
+
+// BenchmarkFig5a and BenchmarkFig5b regenerate the II-cost comparison of
+// Fig. 5 (8- and 16-node modules).
+func BenchmarkFig5a(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig5("a") })
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Fig5("b") })
+}
+
+// BenchmarkOptimality regenerates the Theorem 4.4 optimality-factor table.
+func BenchmarkOptimality(b *testing.B) { benchTable(b, figures.Optimality) }
+
+// BenchmarkIDegreeTable regenerates the Section 5.3 off-module-links table.
+func BenchmarkIDegreeTable(b *testing.B) { benchTable(b, figures.IDegreeTable) }
+
+// ---------------------------------------------------------------------
+// Machinery throughput benches: construction, measurement, routing, and
+// simulation costs of the underlying substrates.
+
+// BenchmarkBuildHSN3Q4 enumerates the 4096-node HSN(3;Q4) state space.
+func BenchmarkBuildHSN3Q4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := superip.HSN(3, superip.NucleusHypercube(4))
+		if _, err := net.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllPairsHSN3Q4 measures the parallel all-pairs BFS used for every
+// exact diameter/average-distance data point.
+func BenchmarkAllPairsHSN3Q4(b *testing.B) {
+	net := superip.HSN(3, superip.NucleusHypercube(4))
+	g, err := net.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.AllPairs()
+	}
+}
+
+// BenchmarkIStatsCN3Q4 measures the 0/1-BFS inter-cluster measurement that
+// generates Fig. 3 points.
+func BenchmarkIStatsCN3Q4(b *testing.B) {
+	net := superip.CompleteCN(3, superip.NucleusHypercube(4))
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = metrics.IStats(g, p)
+	}
+}
+
+// BenchmarkRouting measures the Theorem 4.1 router on HSN(3;Q4).
+func BenchmarkRouting(b *testing.B) {
+	net := superip.HSN(3, superip.NucleusHypercube(4))
+	_, ix, err := net.BuildWithIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := net.Router()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := ix.Label(int32(i % ix.N()))
+		dst := ix.Label(int32((i * 2654435761) % ix.N()))
+		if _, err := r.Route(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmbedding measures the dilation-3 hypercube-into-HSN embedding
+// check (Section 3.2's embedding claim): Q6 into HSN(2;Q3), every guest
+// edge validated.
+func BenchmarkEmbedding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := embed.ProductIntoHSN(superip.HSN(2, superip.NucleusHypercube(3)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Dilation > 3 {
+			b.Fatal("dilation exceeded 3")
+		}
+	}
+}
+
+// BenchmarkNetsim measures the packet simulator on HSN(2;Q4) with slow
+// off-module links (the Section 5.4 scenario).
+func BenchmarkNetsim(b *testing.B) {
+	net := superip.HSN(2, superip.NucleusHypercube(4))
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.Run(netsim.Config{
+			Graph: g, Partition: &p, OffModulePeriod: 4,
+			InjectionRate: 0.005, WarmupCycles: 100, MeasureCycles: 1000,
+			Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIPGraphEnumeration measures raw IP-graph state enumeration on a
+// Cayley graph (the 7-symbol star graph, 5040 nodes).
+func BenchmarkIPGraphEnumeration(b *testing.B) {
+	nuc := superip.NucleusStar(7)
+	ip := nuc.Nuc.IPGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ip.Build(core.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectHypercube measures the direct-construction baseline.
+func BenchmarkDirectHypercube(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := (networks.Hypercube{Dim: 14}).Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the nucleus-choice ablation table (DESIGN.md
+// design-choice study: density of the nucleus vs diameter at fixed module
+// size).
+func BenchmarkAblation(b *testing.B) { benchTable(b, figures.NucleusAblation) }
+
+// BenchmarkOptimalityGHC regenerates the Theorem 4.4 table with the paper's
+// recommended generalized-hypercube nuclei.
+func BenchmarkOptimalityGHC(b *testing.B) { benchTable(b, figures.OptimalityGHC) }
+
+// BenchmarkSection51 regenerates the constant-bisection vs constant-pinout
+// comparison of Section 5.1 (Kernighan-Lin bisection estimates inside).
+func BenchmarkSection51(b *testing.B) {
+	benchTable(b, func() (*figures.Table, error) { return figures.Section51(4, 1) })
+}
+
+// BenchmarkBidirectionalSearch measures optimal label-space routing on
+// HSN(3;Q4) (4096 nodes) without using the built graph.
+func BenchmarkBidirectionalSearch(b *testing.B) {
+	net := superip.HSN(3, superip.NucleusHypercube(4))
+	ip := net.Super().IPGraph()
+	src := net.Super().SeedLabel()
+	dst := symbols.RepeatedSeed(3, symbols.Label{2, 1, 2, 1, 2, 1, 2, 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.ShortestPath(src, dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVertexConnectivity measures the max-flow connectivity analysis
+// on the 5-star (120 nodes).
+func BenchmarkVertexConnectivity(b *testing.B) {
+	g, err := networks.Star{Symbols: 5}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := faults.VertexConnectivity(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcast measures the module-aware broadcast construction and
+// scheduling on HSN(3;Q4).
+func BenchmarkBroadcast(b *testing.B) {
+	net := superip.HSN(3, superip.NucleusHypercube(4))
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := collectives.Broadcast(g, p, 0, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitonicSortEmulated measures the bitonic sort on the emulated
+// HSN(2;Q3) machine (64 values).
+func BenchmarkBitonicSortEmulated(b *testing.B) {
+	m, err := emulate.NewHSNMachine(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]int64, m.N())
+	for i := range vals {
+		vals[i] = int64((i * 2654435761) % 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.SetValues(vals); err != nil {
+			b.Fatal(err)
+		}
+		if err := emulate.BitonicSort(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Command ipgen builds any supported interconnection network and reports its
+// topological statistics, optionally dumping the graph in DOT format.
+//
+// Usage:
+//
+//	ipgen -net HSN -l 3 -nucleus Q2 [-sym] [-dot] [-istats]
+//	ipgen -net hypercube -dim 8
+//	ipgen -net star -dim 6
+//	ipgen -net torus -rows 8 -cols 8
+//	ipgen -net hcn -dim 4
+//
+// Supported -net values: HSN, ringCN, CN, dirCN, SFN, RCC, QCN, hypercube,
+// foldedhypercube, star, torus, karyn, ccc, debruijn, shuffleexchange,
+// petersen, ring, complete, hcn, hfn, hhn.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/bisect"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/hier"
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/networks"
+	"repro/internal/superip"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "HSN", "network family")
+		l       = flag.Int("l", 2, "number of levels / super-symbols (super-IP families)")
+		nucleus = flag.String("nucleus", "Q2", "nucleus: Qn, FQn, Kn, Sn, SEn, or P")
+		sym     = flag.Bool("sym", false, "symmetric (distinct-seed) variant")
+		dim     = flag.Int("dim", 4, "dimension (hypercube, star, ccc, ...)")
+		k       = flag.Int("k", 4, "radix for k-ary n-cubes / de Bruijn base")
+		rows    = flag.Int("rows", 4, "torus/mesh rows")
+		cols    = flag.Int("cols", 4, "torus/mesh cols")
+		a       = flag.Int("a", 7, "QCN: nucleus hypercube dimension")
+		b       = flag.Int("b", 3, "QCN: merged subcube dimension")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT instead of stats")
+		istats  = flag.Bool("istats", false, "measure inter-cluster stats (super-IP families)")
+		kappa   = flag.Bool("kappa", false, "measure exact vertex/edge connectivity")
+		bisectN = flag.Bool("bisect", false, "estimate bisection width (exact <= 24 nodes, else Kernighan-Lin)")
+		lay     = flag.Bool("layout", false, "place on a grid (recursive bisection) and report wire cost")
+	)
+	analyze = func(g *graph.Graph) {
+		if *kappa {
+			k, err := faults.VertexConnectivity(g)
+			exitIf(err)
+			lam, err := faults.EdgeConnectivity(g)
+			exitIf(err)
+			fmt.Printf("vertex-connectivity=%d edge-connectivity=%d min-degree=%d\n", k, lam, g.MinDegree())
+		}
+		if *bisectN {
+			if g.N() <= 24 {
+				w, err := bisect.Exact(g)
+				exitIf(err)
+				fmt.Printf("bisection=%d (exact) layout-area-LB=%d\n", w, bisect.AreaLowerBound(w))
+			} else {
+				w, err := bisect.KernighanLin(g, 8, 1)
+				exitIf(err)
+				fmt.Printf("bisection<=%d (Kernighan-Lin) layout-area-LB<=%d\n", w, bisect.AreaLowerBound(w))
+			}
+		}
+		if *lay {
+			p, err := layout.RecursiveBisection(g, 1)
+			exitIf(err)
+			res := layout.Measure(g, p)
+			fmt.Printf("layout: grid=%dx%d total-wire=%d max-wire=%d avg-wire=%.2f\n",
+				p.Cols, p.Rows, res.TotalWirelength, res.MaxWirelength, res.AvgWirelength)
+		}
+	}
+	flag.Parse()
+
+	switch *netName {
+	case "HSN", "ringCN", "CN", "dirCN", "SFN", "RCC":
+		runSuperIP(*netName, *l, *nucleus, *sym, *dot, *istats)
+	case "QCN":
+		q := superip.QuotientCN{L: *l, A: *a, B: *b}
+		g, err := q.Build()
+		exitIf(err)
+		report(q.Name(), g, *dot)
+	case "hcn":
+		buildAndReport(hier.HCN{Dim: *dim, DiameterLinks: true}, *dot)
+	case "hfn":
+		buildAndReport(hier.HFN{Dim: *dim}, *dot)
+	case "hhn":
+		buildAndReport(hier.HHN{M: *dim}, *dot)
+	default:
+		spec, err := classical(*netName, *dim, *k, *rows, *cols)
+		exitIf(err)
+		buildAndReport(spec, *dot)
+	}
+}
+
+// analyze optionally runs the -kappa / -bisect analyses after report.
+var analyze func(*graph.Graph)
+
+type buildable interface {
+	Name() string
+	Build() (*graph.Graph, error)
+}
+
+func classical(name string, dim, k, rows, cols int) (buildable, error) {
+	switch name {
+	case "hypercube":
+		return networks.Hypercube{Dim: dim}, nil
+	case "foldedhypercube":
+		return networks.FoldedHypercube{Dim: dim}, nil
+	case "star":
+		return networks.Star{Symbols: dim}, nil
+	case "torus":
+		return networks.Torus2D{Rows: rows, Cols: cols}, nil
+	case "karyn":
+		return networks.KAryNCube{K: k, Dims: dim}, nil
+	case "ccc":
+		return networks.CCC{Dim: dim}, nil
+	case "debruijn":
+		return networks.DeBruijn{Base: k, Dim: dim}, nil
+	case "shuffleexchange":
+		return networks.ShuffleExchange{Dim: dim}, nil
+	case "petersen":
+		return networks.Petersen{}, nil
+	case "ring":
+		return networks.Ring{Nodes: dim}, nil
+	case "complete":
+		return networks.Complete{Nodes: dim}, nil
+	}
+	return nil, fmt.Errorf("unknown network %q", name)
+}
+
+func nucleusSpec(s string) (superip.NucleusSpec, error) {
+	if s == "P" {
+		return superip.NucleusPetersen(), nil
+	}
+	if len(s) < 2 {
+		return superip.NucleusSpec{}, fmt.Errorf("bad nucleus %q", s)
+	}
+	kind := s[:1]
+	numStr := s[1:]
+	if len(s) >= 3 && (s[:2] == "FQ" || s[:2] == "SE") {
+		kind, numStr = s[:2], s[2:]
+	}
+	n, err := strconv.Atoi(numStr)
+	if err != nil {
+		return superip.NucleusSpec{}, fmt.Errorf("bad nucleus %q", s)
+	}
+	switch kind {
+	case "Q":
+		return superip.NucleusHypercube(n), nil
+	case "FQ":
+		return superip.NucleusFoldedHypercube(n), nil
+	case "K":
+		return superip.NucleusComplete(n), nil
+	case "S":
+		return superip.NucleusStar(n), nil
+	case "SE":
+		return superip.NucleusShuffleExchange(n), nil
+	}
+	return superip.NucleusSpec{}, fmt.Errorf("unknown nucleus kind %q", kind)
+}
+
+func runSuperIP(family string, l int, nucleus string, sym, dot, istats bool) {
+	nuc, err := nucleusSpec(nucleus)
+	exitIf(err)
+	var net *superip.Net
+	switch family {
+	case "HSN":
+		net = superip.HSN(l, nuc)
+	case "ringCN":
+		net = superip.RingCN(l, nuc)
+	case "CN":
+		net = superip.CompleteCN(l, nuc)
+	case "dirCN":
+		net = superip.DirectedCN(l, nuc)
+	case "SFN":
+		net = superip.SuperFlip(l, nuc)
+	case "RCC":
+		net = superip.RCC(l, nuc.Size)
+	}
+	if sym {
+		net = net.SymmetricVariant()
+	}
+	fmt.Printf("%s: analytic N=%d degree=%d diameter=%d I-diameter=%d\n",
+		net.Name(), net.N(), net.Degree(), net.Diameter(), net.IDiameter())
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		fmt.Printf("(not built: %v)\n", err)
+		return
+	}
+	report(net.Name(), g, dot)
+	if istats {
+		p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+		st := metrics.IStats(g, p)
+		fmt.Printf("modules=%d module-size=%d I-degree=%.3f I-diameter=%d avg-I-distance=%.3f\n",
+			p.K, p.MaxClusterSize(), metrics.IDegree(g, p), st.Diameter, st.AvgDistance)
+	}
+}
+
+func buildAndReport(spec buildable, dot bool) {
+	g, err := spec.Build()
+	exitIf(err)
+	report(spec.Name(), g, dot)
+}
+
+func report(name string, g *graph.Graph, dot bool) {
+	if dot {
+		fmt.Print(g.DOT(sanitize(name)))
+		return
+	}
+	st := g.Symmetrized().AllPairs()
+	fmt.Printf("%s: N=%d edges=%d degree=%d..%d diameter=%d avg-distance=%.3f connected=%v\n",
+		name, g.N(), g.NumEdges(), g.MinDegree(), g.MaxDegree(),
+		st.Diameter, st.AvgDistance, st.Connected)
+	if analyze != nil {
+		analyze(g)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			out = append(out, r)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func exitIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+// Command simulate runs the packet-switched network simulator on a chosen
+// network and module packing, sweeping injection rates and off-module link
+// speed ratios — the empirical counterpart of the paper's Section 5
+// latency arguments.
+//
+// Usage:
+//
+//	simulate -net HSN -l 2 -nucleus Q4 -ratios 1,4,16 -rates 0.002,0.01
+//	simulate -net hypercube -dim 8 -module 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/networks"
+	"repro/internal/superip"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "HSN", "network: HSN, ringCN, CN, SFN, hypercube, torus")
+		l       = flag.Int("l", 2, "levels (super-IP families)")
+		nucleus = flag.String("nucleus", "Q4", "nucleus: Qn or FQn")
+		dim     = flag.Int("dim", 8, "hypercube dimension")
+		module  = flag.Int("module", 4, "hypercube: module subcube dimension; torus: tile side")
+		rows    = flag.Int("rows", 16, "torus rows")
+		cols    = flag.Int("cols", 16, "torus cols")
+		ratios  = flag.String("ratios", "1,4,16", "off-module service periods")
+		rates   = flag.String("rates", "0.005", "injection rates")
+		cycles  = flag.Int("cycles", 3000, "measurement cycles")
+		warmup  = flag.Int("warmup", 300, "warmup cycles")
+		seed    = flag.Int64("seed", 42, "PRNG seed")
+	)
+	flag.Parse()
+
+	g, part, name, err := buildSystem(*netName, *l, *nucleus, *dim, *module, *rows, *cols)
+	exitIf(err)
+
+	ist := metrics.IStats(g, part)
+	fmt.Printf("%s: N=%d modules=%d I-degree=%.2f I-diameter=%d II-cost=%.2f\n",
+		name, g.N(), part.K, metrics.IDegree(g, part), ist.Diameter,
+		metrics.IICost(metrics.IDegree(g, part), int(ist.Diameter)))
+
+	fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-8s\n",
+		"ratio", "rate", "injected", "delivered", "avg-lat", "max-lat")
+	for _, ratio := range parseInts(*ratios) {
+		for _, rate := range parseFloats(*rates) {
+			st, err := netsim.Run(netsim.Config{
+				Graph:           g,
+				Partition:       &part,
+				OffModulePeriod: ratio,
+				InjectionRate:   rate,
+				WarmupCycles:    *warmup,
+				MeasureCycles:   *cycles,
+				Seed:            *seed,
+			})
+			exitIf(err)
+			fmt.Printf("%-8d %-8.4f %-10d %-10d %-10.2f %-8d\n",
+				ratio, rate, st.Injected, st.Delivered, st.AvgLatency, st.MaxLatency)
+		}
+	}
+}
+
+func buildSystem(name string, l int, nucleus string, dim, module, rows, cols int) (*graph.Graph, metrics.Partition, string, error) {
+	switch name {
+	case "HSN", "ringCN", "CN", "SFN":
+		var nuc superip.NucleusSpec
+		switch {
+		case strings.HasPrefix(nucleus, "FQ"):
+			n, err := strconv.Atoi(nucleus[2:])
+			if err != nil {
+				return nil, metrics.Partition{}, "", err
+			}
+			nuc = superip.NucleusFoldedHypercube(n)
+		case strings.HasPrefix(nucleus, "Q"):
+			n, err := strconv.Atoi(nucleus[1:])
+			if err != nil {
+				return nil, metrics.Partition{}, "", err
+			}
+			nuc = superip.NucleusHypercube(n)
+		default:
+			return nil, metrics.Partition{}, "", fmt.Errorf("unknown nucleus %q", nucleus)
+		}
+		var net *superip.Net
+		switch name {
+		case "HSN":
+			net = superip.HSN(l, nuc)
+		case "ringCN":
+			net = superip.RingCN(l, nuc)
+		case "CN":
+			net = superip.CompleteCN(l, nuc)
+		case "SFN":
+			net = superip.SuperFlip(l, nuc)
+		}
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			return nil, metrics.Partition{}, "", err
+		}
+		return g, metrics.NucleusPartition(ix, net.Nucleus.Nuc.M()), net.Name(), nil
+	case "hypercube":
+		g, err := networks.Hypercube{Dim: dim}.Build()
+		if err != nil {
+			return nil, metrics.Partition{}, "", err
+		}
+		return g, metrics.SubcubePartition(g.N(), module), fmt.Sprintf("Q%d/Q%d", dim, module), nil
+	case "torus":
+		g, err := networks.Torus2D{Rows: rows, Cols: cols}.Build()
+		if err != nil {
+			return nil, metrics.Partition{}, "", err
+		}
+		p, err := metrics.GridPartition(rows, cols, module, module)
+		if err != nil {
+			return nil, metrics.Partition{}, "", err
+		}
+		return g, p, fmt.Sprintf("torus(%dx%d)/%dx%d", rows, cols, module, module), nil
+	}
+	return nil, metrics.Partition{}, "", fmt.Errorf("unknown network %q", name)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		exitIf(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		exitIf(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func exitIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulate: %v\n", err)
+		os.Exit(1)
+	}
+}

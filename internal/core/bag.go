@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/symbols"
+)
+
+// Game is the ball-arrangement game (BAG) of Section 2: k balls, each
+// stamped with a number (repeats allowed), and a fixed set of permissible
+// moves, each a permutation of the balls. Solving the game means finding a
+// shortest move sequence transforming a start configuration into a target
+// configuration. The state-transition graph of the game is exactly the IP
+// graph with the start configuration as seed and the moves as generators.
+type Game struct {
+	IP IPGraph
+}
+
+// NewGame wraps an IP graph specification as a ball-arrangement game.
+func NewGame(ip IPGraph) *Game { return &Game{IP: ip} }
+
+// Solution is a solved game: the sequence of moves (generator indices) and
+// the intermediate configurations, including start and target.
+type Solution struct {
+	Moves  []int
+	States []symbols.Label
+}
+
+// Steps returns the number of moves in the solution.
+func (s *Solution) Steps() int { return len(s.Moves) }
+
+// Solve finds a shortest move sequence from start to target, or an error if
+// the target is unreachable. It searches breadth-first over configurations,
+// so it explores at most the full IP-graph vertex set (bounded by limit if
+// nonzero).
+func (g *Game) Solve(start, target symbols.Label, limit int) (*Solution, error) {
+	if len(start) != len(g.IP.Seed) || len(target) != len(g.IP.Seed) {
+		return nil, fmt.Errorf("core: configuration length must be %d", len(g.IP.Seed))
+	}
+	if start.MultisetKey() != target.MultisetKey() {
+		return nil, fmt.Errorf("core: start and target have different ball multisets (%s vs %s)",
+			start.MultisetKey(), target.MultisetKey())
+	}
+	if err := g.IP.Validate(); err != nil {
+		return nil, err
+	}
+	type prev struct {
+		id   int32
+		move int
+	}
+	labels := []symbols.Label{start.Clone()}
+	byKey := map[string]int32{start.Key(): 0}
+	parents := []prev{{-1, -1}}
+	targetKey := target.Key()
+	goal := int32(-1)
+	if targetKey == start.Key() {
+		goal = 0
+	}
+	buf := make(symbols.Label, len(start))
+	for head := 0; head < len(labels) && goal < 0; head++ {
+		x := labels[head]
+		for mi, m := range g.IP.Gens {
+			m.Apply(buf, x)
+			key := buf.Key()
+			if _, ok := byKey[key]; ok {
+				continue
+			}
+			id := int32(len(labels))
+			labels = append(labels, buf.Clone())
+			byKey[key] = id
+			parents = append(parents, prev{int32(head), mi})
+			if limit > 0 && len(labels) > limit {
+				return nil, fmt.Errorf("core: game state space exceeds limit %d", limit)
+			}
+			if key == targetKey {
+				goal = id
+				break
+			}
+		}
+	}
+	if goal < 0 {
+		return nil, fmt.Errorf("core: target %s unreachable from %s", target, start)
+	}
+	// Reconstruct the move sequence.
+	var moves []int
+	for id := goal; parents[id].id >= 0; id = parents[id].id {
+		moves = append(moves, parents[id].move)
+	}
+	for i, j := 0, len(moves)-1; i < j; i, j = i+1, j-1 {
+		moves[i], moves[j] = moves[j], moves[i]
+	}
+	sol := &Solution{Moves: moves, States: make([]symbols.Label, 0, len(moves)+1)}
+	cur := start.Clone()
+	sol.States = append(sol.States, cur.Clone())
+	for _, mi := range moves {
+		next := make(symbols.Label, len(cur))
+		g.IP.Gens[mi].Apply(next, cur)
+		cur = next
+		sol.States = append(sol.States, cur.Clone())
+	}
+	if !cur.Equal(target) {
+		return nil, fmt.Errorf("core: internal error: replayed solution ends at %s, want %s", cur, target)
+	}
+	return sol, nil
+}

@@ -1,0 +1,192 @@
+// Package core implements the index-permutation (IP) graph model of Yeh and
+// Parhami (ICPP 1999), the paper's primary contribution.
+//
+// An IP graph is defined by a seed label and a set of generators, each an
+// index permutation. The vertices are all labels obtainable by repeatedly
+// applying generators to the seed; the edges are the generator actions.
+// Unlike the Cayley graph model, the seed may contain repeated symbols, so
+// the vertex set is generally a proper subset of an orbit of the symmetric
+// group and its size depends on the seed's symbol multiset.
+//
+// The package also implements the paper's ball-arrangement game (Section 2),
+// super-IP graphs with nucleus and super-generators (Section 3), the
+// Theorem 4.1/4.3 routing algorithm and diameter formulas (Section 4), and a
+// constructive demonstration of Theorem 2.1 (every graph has an IP-graph
+// representation).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+	"repro/internal/symbols"
+)
+
+// IPGraph specifies an index-permutation graph: a seed label plus a set of
+// index-permutation generators. Use Build to enumerate its vertex set and
+// realize it as a concrete graph.
+type IPGraph struct {
+	// Name is a human-readable identifier used in diagnostics and DOT output.
+	Name string
+	// Seed is the seed element; generators are applied to it and to every
+	// generated element.
+	Seed symbols.Label
+	// Gens are the generators. Each must be a permutation of len(Seed)
+	// positions.
+	Gens []perm.Perm
+	// GenNames optionally names each generator (for routing traces).
+	GenNames []string
+}
+
+// Validate checks structural consistency of the definition.
+func (ip *IPGraph) Validate() error {
+	if len(ip.Seed) == 0 {
+		return errors.New("core: empty seed")
+	}
+	if len(ip.Gens) == 0 {
+		return errors.New("core: no generators")
+	}
+	for i, g := range ip.Gens {
+		if len(g) != len(ip.Seed) {
+			return fmt.Errorf("core: generator %d has size %d, seed has %d symbols", i, len(g), len(ip.Seed))
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("core: generator %d: %v", i, err)
+		}
+	}
+	if ip.GenNames != nil && len(ip.GenNames) != len(ip.Gens) {
+		return fmt.Errorf("core: %d generator names for %d generators", len(ip.GenNames), len(ip.Gens))
+	}
+	return nil
+}
+
+// GenName returns a printable name for generator i.
+func (ip *IPGraph) GenName(i int) string {
+	if ip.GenNames != nil && ip.GenNames[i] != "" {
+		return ip.GenNames[i]
+	}
+	return ip.Gens[i].String()
+}
+
+// Index maps between node ids and labels of a built IP graph. Node ids are
+// assigned in BFS discovery order from the seed (the seed is node 0), which
+// makes builds deterministic.
+type Index struct {
+	byKey  map[string]int32
+	labels []symbols.Label
+}
+
+// N returns the number of enumerated labels.
+func (ix *Index) N() int { return len(ix.labels) }
+
+// Label returns the label of node id.
+func (ix *Index) Label(id int32) symbols.Label { return ix.labels[id] }
+
+// ID returns the node id of a label, or -1 if the label is not a vertex.
+func (ix *Index) ID(x symbols.Label) int32 {
+	if id, ok := ix.byKey[x.Key()]; ok {
+		return id
+	}
+	return -1
+}
+
+// BuildOptions controls Build.
+type BuildOptions struct {
+	// Limit aborts enumeration if more than Limit vertices are found
+	// (0 means no limit). Protects against accidentally huge graphs.
+	Limit int
+	// AttachLabels stores each node's label string on the produced graph
+	// (grouped by GroupSize symbols if nonzero).
+	AttachLabels bool
+	// GroupSize is the super-symbol length used when rendering labels.
+	GroupSize int
+}
+
+// Build enumerates the IP graph by breadth-first search from the seed and
+// returns the realized graph plus the label index. If the generator set is
+// closed under inverse the result is undirected; otherwise it is a directed
+// graph (as for de Bruijn-style generators).
+func (ip *IPGraph) Build(opt BuildOptions) (*graph.Graph, *Index, error) {
+	if err := ip.Validate(); err != nil {
+		return nil, nil, err
+	}
+	undirected := perm.ClosedUnderInverse(ip.Gens)
+	ix := &Index{byKey: map[string]int32{}}
+	add := func(x symbols.Label) int32 {
+		if id, ok := ix.byKey[x.Key()]; ok {
+			return id
+		}
+		id := int32(len(ix.labels))
+		c := x.Clone()
+		ix.byKey[c.Key()] = id
+		ix.labels = append(ix.labels, c)
+		return id
+	}
+	add(ip.Seed)
+	type arc struct{ u, v int32 }
+	var arcs []arc
+	buf := make(symbols.Label, len(ip.Seed))
+	for head := 0; head < len(ix.labels); head++ {
+		u := int32(head)
+		x := ix.labels[head]
+		for _, g := range ip.Gens {
+			g.Apply(buf, x)
+			v := add(buf)
+			if opt.Limit > 0 && len(ix.labels) > opt.Limit {
+				return nil, nil, fmt.Errorf("core: %s exceeds vertex limit %d", ip.Name, opt.Limit)
+			}
+			arcs = append(arcs, arc{u, v})
+		}
+	}
+	b := graph.NewBuilder(len(ix.labels), !undirected)
+	for _, a := range arcs {
+		if undirected {
+			b.AddEdge(a.u, a.v)
+		} else {
+			b.AddArc(a.u, a.v)
+		}
+	}
+	g := b.Build()
+	if opt.AttachLabels {
+		for id, lbl := range ix.labels {
+			b2 := lbl.Grouped(opt.GroupSize)
+			if g.Labels == nil {
+				g.Labels = make([]string, g.N())
+			}
+			g.Labels[id] = b2
+		}
+	}
+	return g, ix, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (ip *IPGraph) MustBuild(opt BuildOptions) (*graph.Graph, *Index) {
+	g, ix, err := ip.Build(opt)
+	if err != nil {
+		panic(err)
+	}
+	return g, ix
+}
+
+// IsCayley reports whether the IP graph satisfies the Cayley-graph condition
+// of the underlying model: all seed symbols distinct. (Every Cayley graph is
+// an IP graph; the converse fails when symbols repeat.)
+func (ip *IPGraph) IsCayley() bool { return ip.Seed.HasDistinctSymbols() }
+
+// Cayley builds the Cayley graph of the group generated by gens, i.e. the IP
+// graph with the distinct-symbol seed 1..k. This realizes the paper's
+// observation that the Cayley graph model is the distinct-symbols special
+// case of the IP graph model.
+func Cayley(name string, gens []perm.Perm, names []string) *IPGraph {
+	if len(gens) == 0 {
+		panic("core: Cayley requires at least one generator")
+	}
+	return &IPGraph{
+		Name:     name,
+		Seed:     symbols.IotaSeed(len(gens[0])),
+		Gens:     gens,
+		GenNames: names,
+	}
+}

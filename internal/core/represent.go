@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+	"repro/internal/symbols"
+)
+
+// Represent constructs an IP graph isomorphic to an arbitrary undirected
+// graph g, demonstrating Theorem 2.1 (any graph has an IP-graph
+// representation) constructively:
+//
+//  1. Greedily partition the edges of g into matchings (a greedy proper edge
+//     coloring uses at most 2*maxDegree-1 colors).
+//  2. Encode node i as the "one-hot" label with symbol 2 at position i and
+//     symbol 1 elsewhere — a label with heavily repeated symbols, which is
+//     exactly what the IP model permits and the Cayley model forbids.
+//  3. Each matching becomes one generator: the product of the transpositions
+//     (u v) over its edges. Applying it to a one-hot label moves the unique
+//     '2' along the matched edge (or fixes it if the node is unmatched, a
+//     self-loop that the graph builder drops).
+//
+// The returned mapping sends node i of g to the IP-graph node holding the
+// one-hot label of i. g must be connected (an IP graph is always connected
+// by construction).
+func Represent(name string, g *graph.Graph) (*IPGraph, []int32, error) {
+	if g.Directed {
+		return nil, nil, fmt.Errorf("core: Represent requires an undirected graph")
+	}
+	if !g.IsConnected() {
+		return nil, nil, fmt.Errorf("core: Represent requires a connected graph (IP graphs are connected)")
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("core: empty graph")
+	}
+	// Greedy proper edge coloring: for each edge pick the smallest color
+	// unused at both endpoints.
+	type edge struct{ u, v int32 }
+	var edges []edge
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if v > int32(u) {
+				edges = append(edges, edge{int32(u), v})
+			}
+		}
+	}
+	colorsAt := make([]map[int]bool, n)
+	for i := range colorsAt {
+		colorsAt[i] = map[int]bool{}
+	}
+	var matchings [][]edge
+	for _, e := range edges {
+		c := 0
+		for colorsAt[e.u][c] || colorsAt[e.v][c] {
+			c++
+		}
+		colorsAt[e.u][c] = true
+		colorsAt[e.v][c] = true
+		for len(matchings) <= c {
+			matchings = append(matchings, nil)
+		}
+		matchings[c] = append(matchings[c], e)
+	}
+	gens := make([]perm.Perm, len(matchings))
+	names := make([]string, len(matchings))
+	for c, match := range matchings {
+		p := perm.Identity(n)
+		for _, e := range match {
+			p[e.u], p[e.v] = p[e.v], p[e.u]
+		}
+		gens[c] = p
+		names[c] = fmt.Sprintf("matching%d", c)
+	}
+	seed := symbols.ConstantSeed(n, 1)
+	seed[0] = 2
+	ip := &IPGraph{Name: name, Seed: seed, Gens: gens, GenNames: names}
+	// The IP graph enumerates one-hot labels in BFS order from node 0 of g;
+	// build the mapping by looking up each one-hot label.
+	built, ix, err := ip.Build(BuildOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if built.N() != n {
+		return nil, nil, fmt.Errorf("core: representation has %d nodes, want %d", built.N(), n)
+	}
+	mapping := make([]int32, n)
+	oneHot := symbols.ConstantSeed(n, 1)
+	for i := 0; i < n; i++ {
+		oneHot[i] = 2
+		id := ix.ID(oneHot)
+		if id < 0 {
+			return nil, nil, fmt.Errorf("core: one-hot label of node %d not enumerated", i)
+		}
+		mapping[i] = id
+		oneHot[i] = 1
+	}
+	return ip, mapping, nil
+}

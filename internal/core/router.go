@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+	"repro/internal/symbols"
+)
+
+// Router implements the routing algorithm of Theorem 4.1 (plain super-IP
+// graphs) and Theorem 4.3 (symmetric super-IP graphs): sort the leftmost
+// super-symbol with nucleus generators, then follow a covering schedule of
+// super-generators, sorting each super-symbol the first time it reaches the
+// leftmost position. The number of hops never exceeds l*D_G + t (resp.
+// l*D_G + t_S), which equals the network diameter.
+//
+// A Router is not safe for concurrent use (it memoizes nucleus routing
+// trees).
+type Router struct {
+	s        *SuperIP
+	nuc      *nucleusInfo
+	numNuc   int
+	sched    *Schedule // plain-case schedule, shared by all routes
+	revArcs  [][]revArc
+	nucTrees map[int32][]int32 // target state id -> nextGen per state
+}
+
+type revArc struct {
+	src int32
+	gen int32
+}
+
+// Path is a route through a super-IP graph: the sequence of generator
+// indices (into SuperIP.IPGraph().Gens) and all intermediate labels.
+type Path struct {
+	Gens   []int
+	Labels []symbols.Label
+}
+
+// Hops returns the number of edges traversed.
+func (p *Path) Hops() int { return len(p.Gens) }
+
+// SuperSteps returns the number of super-generator applications — the number
+// of off-module (inter-cluster) transmissions when each nucleus is packed
+// into one module.
+func (p *Path) SuperSteps(numNucleusGens int) int {
+	n := 0
+	for _, g := range p.Gens {
+		if g >= numNucleusGens {
+			n++
+		}
+	}
+	return n
+}
+
+// NewRouter prepares routing state for a super-IP graph.
+func NewRouter(s *SuperIP) (*Router, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	nuc, err := s.nucleus()
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		s:        s,
+		nuc:      nuc,
+		numNuc:   len(s.Nucleus.Gens),
+		nucTrees: map[int32][]int32{},
+	}
+	if !s.Symmetric {
+		sched, err := s.MinCoverSchedule()
+		if err != nil {
+			return nil, err
+		}
+		r.sched = sched
+	}
+	// Reverse arcs of the nucleus state graph, labeled with the generator
+	// that produces them, for building per-target shortest-path trees.
+	r.revArcs = make([][]revArc, nuc.ix.N())
+	buf := make(symbols.Label, len(nuc.seed))
+	for id := int32(0); id < int32(nuc.ix.N()); id++ {
+		x := nuc.ix.Label(id)
+		for gi, g := range nuc.gens {
+			g.Apply(buf, x)
+			dest := nuc.ix.ID(buf)
+			if dest < 0 {
+				return nil, fmt.Errorf("core: nucleus state space not closed under generator %d", gi)
+			}
+			if dest != id {
+				r.revArcs[dest] = append(r.revArcs[dest], revArc{src: id, gen: int32(gi)})
+			}
+		}
+	}
+	return r, nil
+}
+
+// nucTree returns (building if needed) the routing tree toward target state:
+// nextGen[state] is the nucleus generator to apply at state on a shortest
+// path to target, or -1 at the target itself / unreachable states.
+func (r *Router) nucTree(target int32) []int32 {
+	if tree, ok := r.nucTrees[target]; ok {
+		return tree
+	}
+	n := r.nuc.ix.N()
+	tree := make([]int32, n)
+	for i := range tree {
+		tree[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	queue = append(queue, target)
+	visited := make([]bool, n)
+	visited[target] = true
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range r.revArcs[v] {
+			if !visited[a.src] {
+				visited[a.src] = true
+				tree[a.src] = a.gen
+				queue = append(queue, a.src)
+			}
+		}
+	}
+	r.nucTrees[target] = tree
+	return tree
+}
+
+// normalizeBlock maps a block's content into the canonical nucleus symbol
+// range by subtracting the color offset (symmetric graphs only; offset 0 for
+// plain graphs), returning the canonical state id.
+func (r *Router) blockStateID(content symbols.Label) (int32, byte, error) {
+	var offset byte
+	if r.s.Symmetric {
+		m := r.s.Nucleus.M()
+		min := content[0]
+		for _, v := range content[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		color := (int(min) - 1) / m
+		offset = byte(color * m)
+	}
+	canon := make(symbols.Label, len(content))
+	for i, v := range content {
+		canon[i] = v - offset
+	}
+	id := r.nuc.ix.ID(canon)
+	if id < 0 {
+		return 0, 0, fmt.Errorf("core: block content %v is not a nucleus state", content)
+	}
+	return id, offset, nil
+}
+
+// Route computes a path from src to dst following the paper's algorithm.
+func (r *Router) Route(src, dst symbols.Label) (*Path, error) {
+	m := r.s.Nucleus.M()
+	l := r.s.L
+	if len(src) != l*m || len(dst) != l*m {
+		return nil, fmt.Errorf("core: labels must have %d symbols", l*m)
+	}
+	sched := r.sched
+	if r.s.Symmetric {
+		target, err := r.symmetricTarget(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		sched, err = r.s.CoverScheduleTo(target)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Plain graphs: blocks are interchangeable, but contents must match
+		// the destination exactly, so verify multisets agree per the model.
+		if src.MultisetKey() != dst.MultisetKey() {
+			return nil, fmt.Errorf("core: src and dst are not in the same IP graph (symbol multisets differ)")
+		}
+	}
+	d := sched.FinalPositions()
+	first := sched.FirstLeftmost()
+
+	cur := src.Clone()
+	path := &Path{Labels: []symbols.Label{cur.Clone()}}
+	apply := func(genIdx int, g perm.Perm) {
+		next := make(symbols.Label, len(cur))
+		g.Apply(next, cur)
+		if next.Equal(cur) {
+			// The generator fixes this label (e.g. swapping two identical
+			// super-symbols): a self-loop, not an edge, and physically no
+			// transmission — skip it but keep following the schedule.
+			return
+		}
+		cur = next
+		path.Gens = append(path.Gens, genIdx)
+		path.Labels = append(path.Labels, cur.Clone())
+	}
+	full := r.s.IPGraph()
+	for step := 0; step <= sched.T(); step++ {
+		if cur.Equal(dst) {
+			return path, nil
+		}
+		orig := sched.Arrs[step][0]
+		if first[orig] == step {
+			// First time this super-symbol is leftmost: sort its content to
+			// the destination's super-symbol at its final position.
+			want := dst.Group(d[orig], m)
+			if err := r.sortLeftmost(func() symbols.Label { return cur }, want, func(gi int) {
+				apply(gi, full.Gens[gi])
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if step < sched.T() {
+			mi := sched.Moves[step]
+			apply(r.numNuc+mi, full.Gens[r.numNuc+mi])
+		}
+	}
+	if !cur.Equal(dst) {
+		return nil, fmt.Errorf("core: route ended at %v, want %v", cur, dst)
+	}
+	return path, nil
+}
+
+// sortLeftmost emits nucleus generator applications transforming the
+// leftmost block of the current label into want. getCur must return the
+// up-to-date label; emit applies the generator with the given index (in the
+// full generator list) to it.
+func (r *Router) sortLeftmost(getCur func() symbols.Label, want symbols.Label, emit func(int)) error {
+	m := r.s.Nucleus.M()
+	curID, offset, err := r.blockStateID(getCur().Group(0, m))
+	if err != nil {
+		return err
+	}
+	wantCanon := make(symbols.Label, m)
+	for i, v := range want {
+		wantCanon[i] = v - offset
+	}
+	wantID := r.nuc.ix.ID(wantCanon)
+	if wantID < 0 {
+		return fmt.Errorf("core: target block %v is not a nucleus state", want)
+	}
+	tree := r.nucTree(wantID)
+	for curID != wantID {
+		gi := tree[curID]
+		if gi < 0 {
+			return fmt.Errorf("core: nucleus state %d cannot reach %d", curID, wantID)
+		}
+		emit(int(gi))
+		// Recompute the current state id from the updated label.
+		curID, _, err = r.blockStateID(getCur().Group(0, m))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// symmetricTarget computes the required final arrangement for a symmetric
+// route: target[pos] = index of the source super-symbol (by position in src)
+// whose color matches dst's color at pos.
+func (r *Router) symmetricTarget(src, dst symbols.Label) (perm.Perm, error) {
+	m := r.s.Nucleus.M()
+	l := r.s.L
+	colorAt := func(x symbols.Label, pos int) int {
+		blk := x.Group(pos, m)
+		min := blk[0]
+		for _, v := range blk[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		return (int(min) - 1) / m
+	}
+	srcPosOfColor := make([]int, l)
+	for i := range srcPosOfColor {
+		srcPosOfColor[i] = -1
+	}
+	for pos := 0; pos < l; pos++ {
+		c := colorAt(src, pos)
+		if c < 0 || c >= l || srcPosOfColor[c] >= 0 {
+			return nil, fmt.Errorf("core: src has invalid color structure at block %d", pos)
+		}
+		srcPosOfColor[c] = pos
+	}
+	target := make(perm.Perm, l)
+	for pos := 0; pos < l; pos++ {
+		c := colorAt(dst, pos)
+		if c < 0 || c >= l || srcPosOfColor[c] < 0 {
+			return nil, fmt.Errorf("core: dst color %d at block %d missing in src", c, pos)
+		}
+		target[pos] = srcPosOfColor[c]
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	return target, nil
+}

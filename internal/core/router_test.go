@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+	"repro/internal/symbols"
+)
+
+// validateAllRoutes routes every ordered node pair of s and checks that each
+// route follows real edges, ends at the destination, respects the Theorem
+// 4.1/4.3 hop bound, and uses at most tBound super-generator steps.
+func validateAllRoutes(t *testing.T, s *SuperIP) {
+	t.Helper()
+	g, ix, err := s.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := s.TheoreticalDiameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tBound int
+	if s.Symmetric {
+		tBound, err = s.TSym()
+	} else {
+		var sched *Schedule
+		sched, err = s.MinCoverSchedule()
+		if err == nil {
+			tBound = sched.T()
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	numNuc := len(s.Nucleus.Gens)
+	worstHops := 0
+	for u := 0; u < ix.N(); u++ {
+		for v := 0; v < ix.N(); v++ {
+			src, dst := ix.Label(int32(u)), ix.Label(int32(v))
+			path, err := r.Route(src, dst)
+			if err != nil {
+				t.Fatalf("%s: route %v -> %v: %v", s.Name, src, dst, err)
+			}
+			if !path.Labels[len(path.Labels)-1].Equal(dst) {
+				t.Fatalf("%s: route %v -> %v ends at %v", s.Name, src, dst,
+					path.Labels[len(path.Labels)-1])
+			}
+			if path.Hops() > bound {
+				t.Fatalf("%s: route %v -> %v takes %d hops, bound %d",
+					s.Name, src, dst, path.Hops(), bound)
+			}
+			if ss := path.SuperSteps(numNuc); ss > tBound {
+				t.Fatalf("%s: route %v -> %v uses %d super-steps, bound %d",
+					s.Name, src, dst, ss, tBound)
+			}
+			// Every consecutive label pair must be an edge of the graph.
+			for i := 0; i+1 < len(path.Labels); i++ {
+				a, b := ix.ID(path.Labels[i]), ix.ID(path.Labels[i+1])
+				if a < 0 || b < 0 || !g.HasEdge(a, b) {
+					t.Fatalf("%s: route step %d (%v -> %v) is not an edge",
+						s.Name, i, path.Labels[i], path.Labels[i+1])
+				}
+			}
+			if path.Hops() > worstHops {
+				worstHops = path.Hops()
+			}
+		}
+	}
+	// The routing algorithm is worst-case optimal: some pair must need
+	// exactly the diameter.
+	if worstHops != bound {
+		t.Fatalf("%s: worst route = %d hops, want the full bound %d (routing should be tight)",
+			s.Name, worstHops, bound)
+	}
+}
+
+func TestRouterHSN(t *testing.T) {
+	validateAllRoutes(t, hsn(2, nucleusQ(2), false))
+	validateAllRoutes(t, hsn(3, nucleusQ(2), false))
+}
+
+func TestRouterRingCN(t *testing.T) {
+	validateAllRoutes(t, ringCN(3, nucleusQ(2), false))
+	validateAllRoutes(t, ringCN(4, nucleusQ(2), false))
+}
+
+func TestRouterSuperFlip(t *testing.T) {
+	validateAllRoutes(t, superFlip(3, nucleusQ(2), false))
+}
+
+func TestRouterSymmetric(t *testing.T) {
+	validateAllRoutes(t, hsn(2, nucleusQ(2), true))
+	validateAllRoutes(t, ringCN(3, nucleusQ(2), true))
+}
+
+func TestRouterRejectsForeignLabels(t *testing.T) {
+	s := hsn(2, nucleusQ(2), false)
+	r, err := NewRouter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route(symbols.Label{1, 2}, symbols.Label{2, 1}); err == nil {
+		t.Fatal("wrong-length labels must fail")
+	}
+	// Different symbol multisets cannot be in the same IP graph.
+	src := s.SeedLabel()
+	dst := src.Clone()
+	dst[0] = 9
+	if _, err := r.Route(src, dst); err == nil {
+		t.Fatal("foreign multiset must fail")
+	}
+}
+
+func TestRouterMatchesBFSOnWorstPair(t *testing.T) {
+	// For the extremal pair A...A -> B...B (contents at nucleus diameter),
+	// the route length must equal the BFS distance l*D_G + t exactly.
+	s := hsn(3, nucleusQ(2), false)
+	g, ix, err := s.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nucleus Q2 pair at distance 2: "1212" and "2121".
+	a := symbols.RepeatedSeed(3, symbols.Label{1, 2, 1, 2})
+	b := symbols.RepeatedSeed(3, symbols.Label{2, 1, 2, 1})
+	path, err := r.Route(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFS(ix.ID(a))
+	if int(dist[ix.ID(b)]) != path.Hops() {
+		t.Fatalf("route %d hops, BFS distance %d", path.Hops(), dist[ix.ID(b)])
+	}
+	want, _ := s.TheoreticalDiameter()
+	if path.Hops() != want {
+		t.Fatalf("extremal pair routed in %d hops, want diameter %d", path.Hops(), want)
+	}
+}
+
+func TestRepresentTheorem21(t *testing.T) {
+	// Theorem 2.1 (constructive demonstration): arbitrary connected graphs
+	// have IP-graph representations.
+	petersen := buildPetersen()
+	ip, mapping, err := Represent("petersen", petersen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, _, err := ip.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.VerifyIsomorphism(petersen, built, mapping); err != nil {
+		t.Fatalf("Petersen representation: %v", err)
+	}
+
+	// Random connected graphs.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(20)
+		b := graph.NewBuilder(n, false)
+		// Random spanning tree for connectivity plus random extra edges.
+		for v := 1; v < n; v++ {
+			b.AddEdge(int32(rng.Intn(v)), int32(v))
+		}
+		for e := 0; e < n; e++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		ip, mapping, err := Represent("rand", g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		built, _, err := ip.Build(BuildOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := graph.VerifyIsomorphism(g, built, mapping); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The representation must genuinely use repeated symbols (it is an
+		// IP graph that is not a Cayley graph for n > 2).
+		if n > 2 && ip.IsCayley() {
+			t.Fatalf("trial %d: representation unexpectedly Cayley", trial)
+		}
+	}
+}
+
+func TestRepresentErrors(t *testing.T) {
+	b := graph.NewBuilder(4, false)
+	b.AddEdge(0, 1) // leaves 2,3 isolated
+	if _, _, err := Represent("x", b.Build()); err == nil {
+		t.Fatal("disconnected graph must fail")
+	}
+	d := graph.NewBuilder(2, true)
+	d.AddEdge(0, 1)
+	if _, _, err := Represent("x", d.Build()); err == nil {
+		t.Fatal("directed graph must fail")
+	}
+}
+
+// buildPetersen constructs the Petersen graph: outer 5-cycle 0-4, inner
+// pentagram 5-9, spokes i -> i+5.
+func buildPetersen() *graph.Graph {
+	b := graph.NewBuilder(10, false)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(int32(i), int32((i+1)%5))
+		b.AddEdge(int32(i+5), int32((i+2)%5+5))
+		b.AddEdge(int32(i), int32(i+5))
+	}
+	return b.Build()
+}
+
+func TestRouterOnLargerInstanceSampled(t *testing.T) {
+	// HSN(2;Q4) has 256 nodes; validate a random sample of routes.
+	s := hsn(2, nucleusQ(4), false)
+	g, ix, err := s.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _ := s.TheoreticalDiameter()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		u := int32(rng.Intn(ix.N()))
+		v := int32(rng.Intn(ix.N()))
+		path, err := r.Route(ix.Label(u), ix.Label(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path.Hops() > bound {
+			t.Fatalf("route exceeds bound: %d > %d", path.Hops(), bound)
+		}
+		for i := 0; i+1 < len(path.Labels); i++ {
+			a, b := ix.ID(path.Labels[i]), ix.ID(path.Labels[i+1])
+			if !g.HasEdge(a, b) {
+				t.Fatalf("non-edge on route at step %d", i)
+			}
+		}
+		if !path.Labels[len(path.Labels)-1].Equal(ix.Label(v)) {
+			t.Fatal("route does not reach destination")
+		}
+	}
+}
+
+func BenchmarkRouteHSN3Q2(b *testing.B) {
+	s := hsn(3, nucleusQ(2), false)
+	_, ix, err := s.Build(BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRouter(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(rng.Intn(ix.N()))
+		v := int32(rng.Intn(ix.N()))
+		if _, err := r.Route(ix.Label(u), ix.Label(v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildHSN2Q4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := hsn(2, nucleusQ(4), false)
+		if _, _, err := s.Build(BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = perm.Identity // keep perm imported for helpers above

@@ -1,0 +1,701 @@
+// Package figures regenerates the data behind every figure in the paper's
+// evaluation (Figs. 1-5), plus a Theorem 4.4 optimality-factor table. Each
+// generator returns a Table that cmd/figures renders and EXPERIMENTS.md
+// records. Small instances are measured exhaustively (BFS / 0-1 BFS);
+// large instances use the closed forms that the test suites validate
+// against exhaustive measurement on every buildable size.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/bisect"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/networks"
+	"repro/internal/superip"
+)
+
+// Table is a rendered data series: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func log2(n int) string { return fmt.Sprintf("%.1f", math.Log2(float64(n))) }
+
+// Fig1 reconstructs Fig. 1: the structure of HSN(2;Q2) (= HCN(2,2) without
+// diameter links) and HSN(3;Q2), with radix-4 node ranks as in the paper.
+func Fig1() (*Table, error) {
+	tab := &Table{
+		Title:   "Fig 1: structure of HSN(l;Q2), l = 2, 3, radix-4 node ranks",
+		Note:    "each row: node rank, label (super-symbols space-separated), neighbor ranks",
+		Columns: []string{"network", "rank", "label", "neighbors"},
+	}
+	for _, l := range []int{2, 3} {
+		net := superip.HSN(l, superip.NucleusHypercube(2))
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			return nil, err
+		}
+		m := net.Nucleus.Nuc.M()
+		// Radix-4 rank: decode each block's pair encoding into a digit 0-3.
+		rank := func(u int32) int {
+			label := ix.Label(u)
+			r := 0
+			for c := 0; c < l; c++ {
+				digit := 0
+				for j := 0; j < 2; j++ {
+					if label[c*m+2*j] > label[c*m+2*j+1] {
+						digit |= 1 << j
+					}
+				}
+				r = r*4 + digit
+			}
+			return r
+		}
+		// Invert so rows are sorted by rank.
+		byRank := make([]int32, g.N())
+		for u := 0; u < g.N(); u++ {
+			byRank[rank(int32(u))] = int32(u)
+		}
+		for r := 0; r < g.N(); r++ {
+			u := byRank[r]
+			var nbrs []string
+			for _, v := range g.Neighbors(u) {
+				nbrs = append(nbrs, fmt.Sprintf("%d", rank(v)))
+			}
+			tab.Rows = append(tab.Rows, []string{
+				net.Name(),
+				fmt.Sprintf("%d", r),
+				ix.Label(u).Grouped(m),
+				strings.Join(nbrs, ","),
+			})
+		}
+	}
+	return tab, nil
+}
+
+// ddEntry is one point of a Fig. 2 series.
+type ddEntry struct {
+	name     string
+	n        int
+	degree   int
+	diameter int
+}
+
+func (e ddEntry) row() []string {
+	return []string{
+		e.name, fmt.Sprintf("%d", e.n), log2(e.n),
+		fmt.Sprintf("%d", e.degree), fmt.Sprintf("%d", e.diameter),
+		fmt.Sprintf("%d", e.degree*e.diameter),
+	}
+}
+
+func specEntry(s networks.Spec) ddEntry {
+	return ddEntry{name: s.Name(), n: s.N(), degree: s.Degree(), diameter: s.Diameter()}
+}
+
+func netEntry(n *superip.Net) ddEntry {
+	return ddEntry{name: n.Name(), n: n.N(), degree: n.Degree(), diameter: n.Diameter()}
+}
+
+// Fig2 regenerates the DD-cost comparison (degree x diameter vs size) for
+// the roster readable in the paper's legends: hypercube, 2D torus, star,
+// CCC, de Bruijn, CN(l;Q4), CN(l;FQ4), ring-CN(l;Q4), ring-CN(l;FQ4),
+// CN(l;P). Panel selects the size band: "a" up to ~2^16, "b" beyond.
+func Fig2(panel string) (*Table, error) {
+	tab := &Table{
+		Title:   fmt.Sprintf("Fig 2%s: DD-cost (degree x diameter) vs network size", panel),
+		Note:    "analytic stats; every closed form validated by BFS on all buildable sizes",
+		Columns: []string{"network", "N", "log2N", "degree", "diameter", "DD-cost"},
+	}
+	var entries []ddEntry
+	for n := 4; n <= 24; n += 2 {
+		entries = append(entries, specEntry(networks.Hypercube{Dim: n}))
+	}
+	for _, k := range []int{8, 16, 32, 64, 128, 256, 512, 1024} {
+		entries = append(entries, specEntry(networks.Torus2D{Rows: k, Cols: k}))
+	}
+	for n := 5; n <= 12; n++ {
+		entries = append(entries, specEntry(networks.Star{Symbols: n}))
+	}
+	for n := 4; n <= 16; n += 2 {
+		entries = append(entries, specEntry(networks.CCC{Dim: n}))
+	}
+	for n := 6; n <= 24; n += 3 {
+		entries = append(entries, specEntry(networks.DeBruijn{Base: 2, Dim: n}))
+	}
+	q4 := superip.NucleusHypercube(4)
+	fq4 := superip.NucleusFoldedHypercube(4)
+	p := superip.NucleusPetersen()
+	for l := 2; l <= 6; l++ {
+		entries = append(entries, netEntry(superip.CompleteCN(l, q4)))
+		entries = append(entries, netEntry(superip.RingCN(l, q4)))
+		entries = append(entries, netEntry(superip.CompleteCN(l, fq4)))
+		entries = append(entries, netEntry(superip.RingCN(l, fq4)))
+		entries = append(entries, netEntry(superip.CompleteCN(l, p)))
+	}
+	lo, hi := 0, 1<<16
+	if panel == "b" {
+		lo, hi = 1<<16, 1<<30
+	}
+	for _, e := range entries {
+		if e.n > lo && e.n <= hi {
+			tab.Rows = append(tab.Rows, e.row())
+		}
+	}
+	return tab, nil
+}
+
+// fig3Roster returns the buildable instances of the Fig. 3 families, with
+// at most 16 nodes per module: HCN(n,n) (= HSN(2;Q_n)), HSN(l;Q4), CN(l;Q4),
+// and QCN(2;Q7/Q3). The limit bounds exhaustive measurement cost.
+func fig3Roster(limit int) []fig3Inst {
+	var out []fig3Inst
+	for n := 2; n <= 4; n++ {
+		net := superip.HSN(2, superip.NucleusHypercube(n))
+		if net.N() <= limit {
+			out = append(out, fig3Inst{label: fmt.Sprintf("HCN(%d,%d)", n, n), net: net})
+		}
+	}
+	for l := 2; l <= 4; l++ {
+		net := superip.HSN(l, superip.NucleusHypercube(4))
+		if net.N() <= limit {
+			out = append(out, fig3Inst{label: net.Name(), net: net})
+		}
+	}
+	for l := 2; l <= 4; l++ {
+		net := superip.CompleteCN(l, superip.NucleusHypercube(4))
+		if net.N() <= limit {
+			out = append(out, fig3Inst{label: net.Name(), net: net})
+		}
+	}
+	return out
+}
+
+type fig3Inst struct {
+	label string
+	net   *superip.Net
+}
+
+// Fig3 regenerates the inter-cluster comparisons: panel "a" is the average
+// I-distance, panel "b" the I-diameter, both with one nucleus (<= 16 nodes)
+// per module. All points are measured exactly with 0/1-weighted BFS.
+func Fig3(panel string, limit int) (*Table, error) {
+	if limit <= 0 {
+		limit = 1 << 13
+	}
+	metric := "avg I-distance"
+	if panel == "b" {
+		metric = "I-diameter"
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("Fig 3%s: %s vs log2(size), <= 16 nodes per module", panel, metric),
+		Note:    "0/1-BFS measurement (exact below the limit, 64-source sample above); I-diameter also has the closed form t = l-1",
+		Columns: []string{"network", "N", "log2N", metric, "analytic I-diam", "method"},
+	}
+	for _, inst := range fig3Roster(1 << 17) {
+		g, ix, err := inst.net.BuildWithIndex()
+		if err != nil {
+			return nil, err
+		}
+		part := metrics.NucleusPartition(ix, inst.net.Nucleus.Nuc.M())
+		var st graph.Stats
+		method := "exact"
+		if g.N() <= limit {
+			st = metrics.IStats(g, part)
+		} else {
+			method = "sampled"
+			sources := make([]int32, 0, 64)
+			stride := g.N() / 64
+			if stride == 0 {
+				stride = 1
+			}
+			for s := 0; s < g.N() && len(sources) < 64; s += stride {
+				sources = append(sources, int32(s))
+			}
+			st = metrics.IStatsSampled(g, part, sources)
+		}
+		val := f1(st.AvgDistance)
+		if panel == "b" {
+			val = fmt.Sprintf("%d", st.Diameter)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			inst.label, fmt.Sprintf("%d", g.N()), log2(g.N()), val,
+			fmt.Sprintf("%d", inst.net.IDiameter()), method,
+		})
+	}
+	// QCN(2;Q7/Q3): quotient network, module = one merged nucleus (16
+	// physical nodes).
+	q := superip.QuotientCN{L: 2, A: 7, B: 3}
+	if q.UnderlyingN() <= 1<<21 && q.N() <= limit*2 {
+		qg, err := q.Build()
+		if err != nil {
+			return nil, err
+		}
+		// Module of a merged node: the high (A-B) bits of every super-symbol
+		// except the leftmost — i.e. one merged nucleus per module.
+		w := q.A - q.B
+		part := metrics.PartitionBy(qg.N(), func(u int32) string {
+			return fmt.Sprintf("%d", int(u)&((1<<uint(w*(q.L-1)))-1))
+		})
+		st := metrics.IStats(qg, part)
+		val := f1(st.AvgDistance)
+		if panel == "b" {
+			val = fmt.Sprintf("%d", st.Diameter)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			q.Name(), fmt.Sprintf("%d", qg.N()), log2(qg.N()), val,
+			fmt.Sprintf("%d", q.L-1), "exact",
+		})
+	}
+	return tab, nil
+}
+
+// IDegreeAnalytic returns the closed-form inter-cluster degree of a super-IP
+// family under nucleus packing: each of the l-1 (or 2) super-links per node
+// is off-module except when it is a self-loop, which happens for exactly one
+// leftmost value per other block, so the per-module average is
+// supDeg*(M-1)/M for transposition-like families and exactly 2 (or 1) for
+// the shift families. Validated against metrics.IDegree in the tests.
+func IDegreeAnalytic(n *superip.Net) float64 {
+	m := float64(n.Nucleus.Size)
+	switch n.Kind {
+	case superip.KindHSN, superip.KindSuperFlip:
+		// A transposition/flip is a self-loop for exactly one leftmost value
+		// per other block, so every module averages supDeg*(M-1)/M.
+		return float64(n.L-1) * (m - 1) / m
+	case superip.KindCompleteCN:
+		if n.L == 2 {
+			return (m - 1) / m // the lone shift degenerates to a swap
+		}
+		// Cyclic shifts rearrange the non-leftmost blocks, so for a generic
+		// module every shift link leaves the module: exactly l-1.
+		return float64(n.L - 1)
+	case superip.KindRingCN:
+		if n.L == 2 {
+			return (m - 1) / m // L = R = a swap
+		}
+		return 2
+	case superip.KindDirectedCN:
+		return 1
+	}
+	return 0
+}
+
+// Fig4 regenerates the ID-cost comparison (I-degree x diameter) with <= 16
+// nodes per module: hypercube with Q4 modules, 2D torus with 4x4 tiles, and
+// the CN / ring-CN families over Q4 and FQ4 nuclei.
+func Fig4(panel string) (*Table, error) {
+	tab := &Table{
+		Title:   fmt.Sprintf("Fig 4%s: ID-cost (I-degree x diameter), <= 16 nodes per module", panel),
+		Note:    "analytic; I-degree closed forms validated against exact measurement",
+		Columns: []string{"network", "N", "log2N", "I-degree", "diameter", "ID-cost"},
+	}
+	type entry struct {
+		name string
+		n    int
+		ideg float64
+		diam int
+	}
+	var entries []entry
+	for n := 5; n <= 24; n++ {
+		h := networks.Hypercube{Dim: n}
+		entries = append(entries, entry{h.Name(), h.N(), float64(n - 4), h.Diameter()})
+	}
+	for _, k := range []int{8, 16, 32, 64, 128, 256, 512} {
+		t2 := networks.Torus2D{Rows: k, Cols: k}
+		// 4x4 tiles: 16 boundary-crossing link endpoints per 16-node tile.
+		entries = append(entries, entry{t2.Name(), t2.N(), 1, t2.Diameter()})
+	}
+	q4 := superip.NucleusHypercube(4)
+	fq4 := superip.NucleusFoldedHypercube(4)
+	for l := 2; l <= 6; l++ {
+		for _, net := range []*superip.Net{
+			superip.CompleteCN(l, q4), superip.RingCN(l, q4),
+			superip.CompleteCN(l, fq4), superip.RingCN(l, fq4),
+		} {
+			entries = append(entries, entry{net.Name(), net.N(), IDegreeAnalytic(net), net.Diameter()})
+		}
+	}
+	lo, hi := 0, 1<<16
+	if panel == "b" {
+		lo, hi = 1<<16, 1<<30
+	}
+	for _, e := range entries {
+		if e.n > lo && e.n <= hi {
+			tab.Rows = append(tab.Rows, []string{
+				e.name, fmt.Sprintf("%d", e.n), log2(e.n), f1(e.ideg),
+				fmt.Sprintf("%d", e.diam), f1(e.ideg * float64(e.diam)),
+			})
+		}
+	}
+	return tab, nil
+}
+
+// Fig5 regenerates the II-cost comparison (I-degree x I-diameter); panel "a"
+// uses 8-node modules (Q3 nuclei), panel "b" 16-node modules (Q4 nuclei).
+func Fig5(panel string) (*Table, error) {
+	dim := 4
+	if panel == "a" {
+		dim = 3
+	}
+	moduleNodes := 1 << dim
+	tab := &Table{
+		Title:   fmt.Sprintf("Fig 5%s: II-cost (I-degree x I-diameter), %d-node modules", panel, moduleNodes),
+		Note:    "analytic; closed forms validated against exact measurement",
+		Columns: []string{"network", "N", "log2N", "I-degree", "I-diameter", "II-cost"},
+	}
+	type entry struct {
+		name  string
+		n     int
+		ideg  float64
+		idiam int
+	}
+	var entries []entry
+	for n := dim + 1; n <= 24; n++ {
+		h := networks.Hypercube{Dim: n}
+		entries = append(entries, entry{h.Name(), h.N(), float64(n - dim), n - dim})
+	}
+	for _, k := range []int{8, 16, 32, 64, 128, 256, 512} {
+		t2 := networks.Torus2D{Rows: k, Cols: k}
+		// Tiles of 4x(moduleNodes/4): crossing endpoints per node and tile
+		// crossings needed along each axis.
+		tr, tc := 4, moduleNodes/4
+		ideg := float64(2*(tr+tc)) / float64(moduleNodes)
+		idiam := (k / tr / 2) + (k / tc / 2)
+		entries = append(entries, entry{t2.Name(), t2.N(), ideg, idiam})
+	}
+	nuc := superip.NucleusHypercube(dim)
+	fnuc := superip.NucleusFoldedHypercube(dim)
+	for l := 2; l <= 7; l++ {
+		for _, net := range []*superip.Net{
+			superip.CompleteCN(l, nuc), superip.RingCN(l, nuc),
+			superip.CompleteCN(l, fnuc), superip.RingCN(l, fnuc),
+		} {
+			entries = append(entries, entry{net.Name(), net.N(), IDegreeAnalytic(net), net.IDiameter()})
+		}
+	}
+	for _, e := range entries {
+		if e.n >= 32 && e.n <= 1<<24 {
+			tab.Rows = append(tab.Rows, []string{
+				e.name, fmt.Sprintf("%d", e.n), log2(e.n), f1(e.ideg),
+				fmt.Sprintf("%d", e.idiam), f1(e.ideg * float64(e.idiam)),
+			})
+		}
+	}
+	return tab, nil
+}
+
+// Optimality regenerates the Theorem 4.4 evidence: the ratio of network
+// diameter to the Moore-style degree-diameter lower bound for RCC-style
+// super-IP graphs with complete-graph nuclei, which the theorem predicts
+// approaches a small constant.
+func Optimality() (*Table, error) {
+	tab := &Table{
+		Title:   "Theorem 4.4: diameter optimality factor of super-IP graphs with K_m nuclei",
+		Columns: []string{"network", "N", "degree", "diameter", "Moore LB", "factor"},
+	}
+	for _, tc := range []struct{ l, m int }{
+		{2, 4}, {2, 8}, {2, 16}, {2, 32}, {2, 64},
+		{3, 8}, {3, 16}, {3, 32},
+		{4, 16}, {4, 32}, {5, 32}, {6, 64},
+	} {
+		net := superip.RCC(tc.l, tc.m)
+		lb := metrics.MooreDiameterLB(net.Degree(), net.N())
+		tab.Rows = append(tab.Rows, []string{
+			net.Name(), fmt.Sprintf("%d", net.N()),
+			fmt.Sprintf("%d", net.Degree()), fmt.Sprintf("%d", net.Diameter()),
+			fmt.Sprintf("%d", lb), f1(metrics.OptimalityFactor(net.Diameter(), net.Degree(), net.N())),
+		})
+	}
+	return tab, nil
+}
+
+// IDegreeTable regenerates the Section 5.3 comparison of off-module links
+// per node, measured exactly on buildable instances.
+func IDegreeTable() (*Table, error) {
+	tab := &Table{
+		Title:   "Section 5.3: maximum off-module links per node (nucleus packing)",
+		Columns: []string{"network", "N", "module", "max off-module links", "paper claim"},
+	}
+	add := func(name string, n, module, got int, claim string) {
+		tab.Rows = append(tab.Rows, []string{
+			name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", module),
+			fmt.Sprintf("%d", got), claim,
+		})
+	}
+	for _, l := range []int{2, 3, 4} {
+		net := superip.HSN(l, superip.NucleusHypercube(2))
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			return nil, err
+		}
+		p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+		add(net.Name(), g.N(), net.Nucleus.Size, metrics.MaxOffModuleLinks(g, p),
+			fmt.Sprintf("l-1 = %d", l-1))
+	}
+	for _, l := range []int{3, 4, 5} {
+		net := superip.RingCN(l, superip.NucleusHypercube(2))
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			return nil, err
+		}
+		p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+		add(net.Name(), g.N(), net.Nucleus.Size, metrics.MaxOffModuleLinks(g, p), "2")
+	}
+	for _, n := range []int{6, 8, 10} {
+		g, err := (networks.Hypercube{Dim: n}).Build()
+		if err != nil {
+			return nil, err
+		}
+		p := metrics.SubcubePartition(g.N(), 3)
+		add(fmt.Sprintf("Q%d", n), g.N(), 8, metrics.MaxOffModuleLinks(g, p),
+			fmt.Sprintf("n-3 = %d", n-3))
+	}
+	{
+		g, err := (networks.DeBruijn{Base: 2, Dim: 8}).Build()
+		if err != nil {
+			return nil, err
+		}
+		p := metrics.SubcubePartition(g.N(), 4)
+		add("deBruijn(2,8)", g.N(), 16, metrics.MaxOffModuleLinks(g, p), "4")
+	}
+	return tab, nil
+}
+
+// OptimalityGHC extends the Theorem 4.4 table with the paper's Section 4
+// suggestion: generalized-hypercube nuclei of proper size and dimension.
+// With a GHC nucleus, D_G equals its coordinate count and the nucleus is
+// itself diameter-optimal, so the super-IP diameter stays within a small
+// factor of the Moore bound while the degree grows slowly.
+func OptimalityGHC() (*Table, error) {
+	tab := &Table{
+		Title:   "Theorem 4.4: optimality factors with generalized-hypercube nuclei",
+		Columns: []string{"network", "N", "degree", "diameter", "Moore LB", "factor"},
+	}
+	add := func(net *superip.Net) {
+		lb := metrics.MooreDiameterLB(net.Degree(), net.N())
+		tab.Rows = append(tab.Rows, []string{
+			net.Name(), fmt.Sprintf("%d", net.N()),
+			fmt.Sprintf("%d", net.Degree()), fmt.Sprintf("%d", net.Diameter()),
+			fmt.Sprintf("%d", lb), f1(metrics.OptimalityFactor(net.Diameter(), net.Degree(), net.N())),
+		})
+	}
+	for _, nuc := range []superip.NucleusSpec{
+		superip.NucleusGHC(8, 8),
+		superip.NucleusGHC(16, 16),
+		superip.NucleusGHC(8, 8, 8),
+		superip.NucleusGHC(16, 16, 16),
+		superip.NucleusGHC(32, 32, 32),
+	} {
+		for l := 2; l <= 4; l++ {
+			add(superip.HSN(l, nuc))
+		}
+	}
+	return tab, nil
+}
+
+// NucleusAblation is the DESIGN.md ablation: fix the module budget at 16
+// processors and vary only the nucleus (Q4, FQ4, K16, GHC(4,4), C(4,2))
+// inside CN(l;.) — isolating the paper's Section 6 observation that "a
+// dense nucleus graph reduces the diameter and average distance" while the
+// super-generator family fixes the I-metrics.
+func NucleusAblation() (*Table, error) {
+	tab := &Table{
+		Title:   "Ablation: nucleus choice at fixed 16-node modules, CN(l;G)",
+		Note:    "I-degree/I-diameter depend only on the super-generators; diameter tracks nucleus density",
+		Columns: []string{"network", "N", "nuc degree", "nuc diam", "degree", "diameter", "I-degree", "I-diameter", "DD", "II"},
+	}
+	for _, nuc := range []superip.NucleusSpec{
+		superip.NucleusHypercube(4),
+		superip.NucleusFoldedHypercube(4),
+		superip.NucleusKAryCube(4, 2),
+		superip.NucleusGHC(4, 4),
+		superip.NucleusComplete(16),
+	} {
+		for _, l := range []int{2, 3, 4} {
+			net := superip.CompleteCN(l, nuc)
+			ideg := IDegreeAnalytic(net)
+			tab.Rows = append(tab.Rows, []string{
+				net.Name(), fmt.Sprintf("%d", net.N()),
+				fmt.Sprintf("%d", nuc.Degree), fmt.Sprintf("%d", nuc.Diameter),
+				fmt.Sprintf("%d", net.Degree()), fmt.Sprintf("%d", net.Diameter()),
+				f1(ideg), fmt.Sprintf("%d", net.IDiameter()),
+				fmt.Sprintf("%d", metrics.DDCost(net.Degree(), net.Diameter())),
+				f1(metrics.IICost(ideg, net.IDiameter())),
+			})
+		}
+	}
+	return tab, nil
+}
+
+// Section51 regenerates the Section 5.1 discussion as a measured table:
+// under a constant bisection-bandwidth constraint the low-dimensional tori
+// win (their bisection is tiny, so each wire can be wide), while under a
+// constant pin-out constraint the super-IP graphs win (few off-module links
+// per node). Latency proxies: bisection-constrained = diameter *
+// bisection/N (wires get N/bisection wider at fixed total width); pin-
+// constrained = diameter * offLinksPerNode (pins shared across fewer
+// links transmit faster). Bisection widths: closed form for Q_n and square
+// tori, Kernighan-Lin upper bound for the super-IP instances (marked ~).
+func Section51(klRestarts int, seed int64) (*Table, error) {
+	if klRestarts <= 0 {
+		klRestarts = 8
+	}
+	tab := &Table{
+		Title:   "Section 5.1: constant-bisection vs constant-pinout comparison (256-node systems, 16-node modules)",
+		Note:    "bisection-latency proxy = diam*bisection/N; pin-latency proxy = diam*offLinks",
+		Columns: []string{"network", "N", "diam", "bisection", "off-links/node", "bisection-proxy", "pin-proxy"},
+	}
+	type entry struct {
+		name      string
+		n, diam   int
+		bisection int
+		approx    bool
+		offLinks  int
+	}
+	var entries []entry
+
+	q8 := networks.Hypercube{Dim: 8}
+	entries = append(entries, entry{q8.Name(), q8.N(), q8.Diameter(),
+		1 << 7, false, 8 - 4})
+	t16 := networks.Torus2D{Rows: 16, Cols: 16}
+	entries = append(entries, entry{t16.Name(), t16.N(), t16.Diameter(), 2 * 16, false, 2})
+
+	for _, net := range []*superip.Net{
+		superip.HSN(2, superip.NucleusHypercube(4)),
+		superip.CompleteCN(2, superip.NucleusHypercube(4)),
+	} {
+		g, err := net.Build()
+		if err != nil {
+			return nil, err
+		}
+		w, err := bisect.KernighanLin(g, klRestarts, seed)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, entry{net.Name(), net.N(), net.Diameter(), w, true, net.SuperDegree()})
+	}
+
+	for _, e := range entries {
+		bs := fmt.Sprintf("%d", e.bisection)
+		if e.approx {
+			bs = "~" + bs
+		}
+		bproxy := float64(e.diam) * float64(e.bisection) / float64(e.n)
+		pproxy := float64(e.diam) * float64(e.offLinks)
+		tab.Rows = append(tab.Rows, []string{
+			e.name, fmt.Sprintf("%d", e.n), fmt.Sprintf("%d", e.diam), bs,
+			fmt.Sprintf("%d", e.offLinks), f1(bproxy), f1(pproxy),
+		})
+	}
+	return tab, nil
+}
+
+// AvgDistanceTable regenerates the Section 1 motivation: the star graph has
+// degree, diameter, AND average distance smaller than a similar-size
+// hypercube, and the super-IP families inherit the advantage. All values
+// measured exactly by parallel all-pairs BFS.
+func AvgDistanceTable() (*Table, error) {
+	tab := &Table{
+		Title:   "Section 1: degree / diameter / average distance at comparable sizes (exact BFS)",
+		Columns: []string{"network", "N", "degree", "diameter", "avg distance"},
+	}
+	add := func(name string, n, deg int, diam int32, avg float64) {
+		tab.Rows = append(tab.Rows, []string{
+			name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", deg),
+			fmt.Sprintf("%d", diam), f1(avg),
+		})
+	}
+	// star(7) = 5040 vs Q12 = 4096 vs CN(3;Q4) = 4096 vs CCC(9) = 4608.
+	star, err := networks.Star{Symbols: 7}.Build()
+	if err != nil {
+		return nil, err
+	}
+	st := star.AllPairs()
+	add("star(7)", star.N(), star.MaxDegree(), st.Diameter, st.AvgDistance)
+
+	cube, err := networks.Hypercube{Dim: 12}.Build()
+	if err != nil {
+		return nil, err
+	}
+	st = cube.AllPairs()
+	add("Q12", cube.N(), cube.MaxDegree(), st.Diameter, st.AvgDistance)
+
+	ccc, err := networks.CCC{Dim: 9}.Build()
+	if err != nil {
+		return nil, err
+	}
+	st = ccc.AllPairs()
+	add("CCC(9)", ccc.N(), ccc.MaxDegree(), st.Diameter, st.AvgDistance)
+
+	for _, net := range []*superip.Net{
+		superip.CompleteCN(3, superip.NucleusHypercube(4)),
+		superip.HSN(3, superip.NucleusHypercube(4)),
+		superip.MacroStar(2, 5),
+	} {
+		g, err := net.Build()
+		if err != nil {
+			return nil, err
+		}
+		st := g.AllPairs()
+		add(net.Name(), g.N(), g.MaxDegree(), st.Diameter, st.AvgDistance)
+	}
+	return tab, nil
+}

@@ -1,0 +1,318 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/superip"
+)
+
+func TestFig1Structure(t *testing.T) {
+	tab, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 rows for HSN(2;Q2) + 64 for HSN(3;Q2).
+	if len(tab.Rows) != 80 {
+		t.Fatalf("Fig1 has %d rows, want 80", len(tab.Rows))
+	}
+	// Ranks must be 0..N-1 within each network.
+	count2 := 0
+	for _, row := range tab.Rows {
+		if row[0] == "HSN(2;Q2)" {
+			count2++
+		}
+	}
+	if count2 != 16 {
+		t.Fatalf("HSN(2;Q2) has %d rows", count2)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tab, err := Fig2("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("Fig2a empty")
+	}
+	// The paper's claim: at comparable sizes, CN networks have DD-cost
+	// comparable to the star graph and far below the hypercube. Check at
+	// ~2^16: Q16 has DD 256; CN(4;Q4) has N = 2^16 and smaller DD-cost.
+	dd := func(name string) (int, bool) {
+		for _, row := range tab.Rows {
+			if row[0] == name {
+				v, _ := strconv.Atoi(row[5])
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	cn4, ok := dd("CN(4;Q4)")
+	if !ok {
+		t.Fatal("CN(4;Q4) missing from Fig2a")
+	}
+	q16, ok := dd("Q16")
+	if !ok {
+		t.Fatal("Q16 missing from Fig2a")
+	}
+	if cn4 >= q16 {
+		t.Fatalf("CN(4;Q4) DD-cost %d should be below Q16's %d", cn4, q16)
+	}
+	tabB, err := Fig2("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tabB.Rows {
+		n, _ := strconv.Atoi(row[1])
+		if n <= 1<<16 {
+			t.Fatalf("panel b contains small network %v", row)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tab, err := Fig3("a", 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("Fig3a has only %d rows", len(tab.Rows))
+	}
+	// The QCN point must have the lowest average I-distance among networks
+	// of comparable size (the quotient shares off-module links).
+	var qcnVal, cn2Val float64 = -1, -1
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad value %q", row[3])
+		}
+		switch row[0] {
+		case "QCN(2;Q7/Q3)":
+			qcnVal = v
+		case "CN(2;Q4)":
+			cn2Val = v
+		}
+	}
+	if qcnVal < 0 || cn2Val < 0 {
+		t.Fatalf("missing QCN or CN rows: %v", tab.Rows)
+	}
+	tabB, err := Fig3("b", 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured I-diameter must equal the analytic column everywhere.
+	for _, row := range tabB.Rows {
+		if row[0] == "QCN(2;Q7/Q3)" {
+			continue // quotient can beat the CN bound
+		}
+		if row[3] != row[4] {
+			t.Fatalf("%s: measured I-diameter %s != analytic %s", row[0], row[3], row[4])
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab, err := Fig4("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("Fig4a empty")
+	}
+	// CN family must dominate (lower ID-cost than) the hypercube at
+	// comparable size: compare CN(4;Q4) (2^16) against Q16.
+	idc := map[string]float64{}
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[5], 64)
+		idc[row[0]] = v
+	}
+	if idc["CN(4;Q4)"] >= idc["Q16"] {
+		t.Fatalf("CN(4;Q4) ID-cost %v should beat Q16's %v", idc["CN(4;Q4)"], idc["Q16"])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	for _, panel := range []string{"a", "b"} {
+		tab, err := Fig5(panel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("Fig5%s empty", panel)
+		}
+		// ring-CN II-cost is bounded (2 * (l-1)) while the hypercube's grows
+		// quadratically; at 2^16 the ring-CN must win decisively.
+		iic := map[string]float64{}
+		for _, row := range tab.Rows {
+			v, _ := strconv.ParseFloat(row[5], 64)
+			iic[row[0]] = v
+		}
+		ring := "ring-CN(4;Q4)"
+		if panel == "a" {
+			ring = "ring-CN(4;Q3)"
+		}
+		if _, ok := iic[ring]; !ok {
+			t.Fatalf("%s missing from Fig5%s", ring, panel)
+		}
+		if iic[ring] >= iic["Q16"] {
+			t.Fatalf("%s II-cost %v should beat Q16's %v", ring, iic[ring], iic["Q16"])
+		}
+	}
+}
+
+func TestIDegreeAnalyticMatchesMeasurement(t *testing.T) {
+	for _, net := range []*superip.Net{
+		superip.HSN(2, superip.NucleusHypercube(2)),
+		superip.HSN(3, superip.NucleusHypercube(2)),
+		superip.HSN(2, superip.NucleusHypercube(3)),
+		superip.CompleteCN(2, superip.NucleusHypercube(4)),
+		superip.CompleteCN(3, superip.NucleusHypercube(2)),
+		superip.RingCN(4, superip.NucleusHypercube(2)),
+		superip.RingCN(2, superip.NucleusHypercube(3)),
+		superip.SuperFlip(3, superip.NucleusHypercube(2)),
+	} {
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+		got := metrics.IDegree(g, p)
+		want := IDegreeAnalytic(net)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s: measured I-degree %v, analytic %v", net.Name(), got, want)
+		}
+	}
+}
+
+func TestOptimalityTable(t *testing.T) {
+	tab, err := Optimality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Factors must be >= 1 and bounded; the trend toward the bound should
+	// be visible (all factors below 4).
+	for _, row := range tab.Rows {
+		f, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 1 || f > 4 {
+			t.Fatalf("%s: optimality factor %v out of expected band", row[0], f)
+		}
+	}
+}
+
+func TestIDegreeTable(t *testing.T) {
+	tab, err := IDegreeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 8 {
+		t.Fatalf("IDegreeTable has %d rows", len(tab.Rows))
+	}
+	// Every HSN row must match l-1 and every hypercube row n-3.
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "HSN(") {
+			l := int(row[0][4] - '0')
+			got, _ := strconv.Atoi(row[3])
+			if got != l-1 {
+				t.Fatalf("%s: off-module links %d, want %d", row[0], got, l-1)
+			}
+		}
+	}
+}
+
+func TestNucleusAblation(t *testing.T) {
+	tab, err := NucleusAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 15 {
+		t.Fatalf("ablation rows = %d, want 15 (5 nuclei x 3 levels)", len(tab.Rows))
+	}
+	// Section 6: denser nucleus => smaller diameter at identical I-metrics.
+	diam := map[string]int{}
+	ii := map[string]string{}
+	for _, row := range tab.Rows {
+		d, _ := strconv.Atoi(row[5])
+		diam[row[0]] = d
+		ii[row[0]] = row[9]
+	}
+	if !(diam["CN(4;K16)"] < diam["CN(4;FQ4)"] && diam["CN(4;FQ4)"] < diam["CN(4;Q4)"]) {
+		t.Fatalf("nucleus density ordering violated: K16=%d FQ4=%d Q4=%d",
+			diam["CN(4;K16)"], diam["CN(4;FQ4)"], diam["CN(4;Q4)"])
+	}
+	if ii["CN(4;K16)"] != ii["CN(4;Q4)"] {
+		t.Fatalf("II-cost should not depend on the nucleus: %s vs %s",
+			ii["CN(4;K16)"], ii["CN(4;Q4)"])
+	}
+}
+
+func TestOptimalityGHCTable(t *testing.T) {
+	tab, err := OptimalityGHC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		f, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 1 || f > 2 {
+			t.Fatalf("%s: GHC-nucleus optimality factor %v out of [1,2]", row[0], f)
+		}
+	}
+}
+
+func TestSection51Table(t *testing.T) {
+	tab, err := Section51(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxies := map[string][2]float64{}
+	for _, row := range tab.Rows {
+		b, _ := strconv.ParseFloat(row[5], 64)
+		p, _ := strconv.ParseFloat(row[6], 64)
+		proxies[row[0]] = [2]float64{b, p}
+	}
+	// The paper's Section 5.1 conclusion: the torus wins under the
+	// bisection constraint; the super-IP graphs win under pin-out.
+	if proxies["torus(16x16)"][0] > proxies["Q8"][0] {
+		t.Fatal("torus should beat the hypercube under the bisection constraint")
+	}
+	if proxies["HSN(2;Q4)"][1] >= proxies["Q8"][1] || proxies["HSN(2;Q4)"][1] >= proxies["torus(16x16)"][1] {
+		t.Fatalf("HSN should win the pin-constrained proxy: %v", proxies)
+	}
+}
+
+func TestAvgDistanceTable(t *testing.T) {
+	tab, err := AvgDistanceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][3]float64{}
+	for _, row := range tab.Rows {
+		deg, _ := strconv.ParseFloat(row[2], 64)
+		diam, _ := strconv.ParseFloat(row[3], 64)
+		avg, _ := strconv.ParseFloat(row[4], 64)
+		vals[row[0]] = [3]float64{deg, diam, avg}
+	}
+	// Section 1: the star graph beats a similar-size hypercube in degree,
+	// diameter, AND average distance.
+	s, q := vals["star(7)"], vals["Q12"]
+	if !(s[0] < q[0] && s[1] < q[1] && s[2] < q[2]) {
+		t.Fatalf("star(7) %v should dominate Q12 %v", s, q)
+	}
+}

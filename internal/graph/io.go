@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the graph in a simple line-oriented text format:
+//
+//	ipgraph 1 <n> <directed>
+//	[label <u> <text>]...
+//	<u>: <v1> <v2> ...
+//
+// One adjacency line per node with at least one out-neighbor. Undirected
+// graphs list every arc (both directions), so ReadText reproduces the CSR
+// content exactly.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	dir := 0
+	if g.Directed {
+		dir = 1
+	}
+	if _, err := fmt.Fprintf(bw, "ipgraph 1 %d %d\n", g.n, dir); err != nil {
+		return err
+	}
+	if g.Labels != nil {
+		for u, lab := range g.Labels {
+			if lab != "" {
+				if _, err := fmt.Fprintf(bw, "label %d %s\n", u, lab); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		adj := g.Neighbors(int32(u))
+		if len(adj) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d:", u); err != nil {
+			return err
+		}
+		for _, v := range adj {
+			if _, err := fmt.Fprintf(bw, " %d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the WriteText format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	var version, n, dir int
+	if _, err := fmt.Sscanf(sc.Text(), "ipgraph %d %d %d", &version, &n, &dir); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %v", sc.Text(), err)
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count")
+	}
+	b := NewBuilder(n, dir == 1)
+	var labels []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "label ") {
+			rest := line[len("label "):]
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				return nil, fmt.Errorf("graph: bad label line %q", line)
+			}
+			u, err := strconv.Atoi(rest[:sp])
+			if err != nil || u < 0 || u >= n {
+				return nil, fmt.Errorf("graph: bad label node in %q", line)
+			}
+			if labels == nil {
+				labels = make([]string, n)
+			}
+			labels[u] = rest[sp+1:]
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("graph: bad adjacency line %q", line)
+		}
+		u, err := strconv.Atoi(line[:colon])
+		if err != nil || u < 0 || u >= n {
+			return nil, fmt.Errorf("graph: bad node id in %q", line)
+		}
+		for _, f := range strings.Fields(line[colon+1:]) {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: bad neighbor %q in %q", f, line)
+			}
+			b.AddArc(int32(u), int32(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := b.Build()
+	g.Labels = labels
+	if !g.Directed {
+		// Sanity: the stored arcs of an undirected graph must be symmetric.
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(int32(u)) {
+				if !g.HasEdge(v, int32(u)) {
+					return nil, fmt.Errorf("graph: undirected input missing reverse arc %d->%d", v, u)
+				}
+			}
+		}
+	}
+	return g, nil
+}

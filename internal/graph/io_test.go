@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		directed := r.Intn(2) == 0
+		b := NewBuilder(n, directed)
+		for e := 0; e < 2*n; e++ {
+			b.AddEdge(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf); err != nil {
+			return false
+		}
+		h, err := ReadText(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if h.N() != g.N() || h.M() != g.M() || h.Directed != g.Directed {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			a, b2 := g.Neighbors(int32(u)), h.Neighbors(int32(u))
+			if len(a) != len(b2) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadLabels(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.SetLabel(0, "alpha")
+	b.SetLabel(2, "12 21")
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Labels == nil || h.Labels[0] != "alpha" || h.Labels[2] != "12 21" || h.Labels[1] != "" {
+		t.Fatalf("labels = %v", h.Labels)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header",
+		"ipgraph 2 3 0\n",
+		"ipgraph 1 -1 0\n",
+		"ipgraph 1 3 0\nnot-an-adjacency\n",
+		"ipgraph 1 3 0\n5: 0\n",
+		"ipgraph 1 3 0\n0: 9\n",
+		"ipgraph 1 3 0\nlabel x\n",
+		"ipgraph 1 3 0\nlabel 9 name\n",
+		"ipgraph 1 2 0\n0: 1\n", // missing reverse arc in undirected input
+	}
+	for i, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestReadTextIsolatedNodes(t *testing.T) {
+	g, err := ReadText(strings.NewReader("ipgraph 1 4 0\n0: 1\n1: 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.Degree(2) != 0 || g.Degree(3) != 0 {
+		t.Fatal("isolated nodes lost")
+	}
+}

@@ -1,0 +1,175 @@
+// Package hier provides direct constructions of the previously proposed
+// hierarchical interconnection networks that the paper unifies under the
+// super-IP graph model: hierarchical cubic networks (HCN) of Ghose and
+// Desai, hierarchical folded-hypercube networks (HFN) of Duh, Chen and Fang,
+// and hierarchical hypercube networks (HHN) of Yun and Park. Tests verify
+// the paper's equivalence claims, e.g. that HCN(n,n) without its diameter
+// links is exactly HSN(2;Q_n).
+package hier
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// HCN is the hierarchical cubic network HCN(n,n): 2^n clusters of 2^n nodes.
+// Node (I,J) has n local hypercube links within its cluster I, and one
+// external link: the swap link (I,J)-(J,I) when I != J, or the diameter link
+// (I,I)-(~I,~I) when I == J. With DiameterLinks false the diameter links are
+// omitted, which per Section 2 of the paper yields exactly HSN(2;Q_n).
+type HCN struct {
+	Dim           int
+	DiameterLinks bool
+}
+
+// Name returns e.g. "HCN(4,4)".
+func (h HCN) Name() string {
+	suffix := ""
+	if !h.DiameterLinks {
+		suffix = "-nd"
+	}
+	return fmt.Sprintf("HCN(%d,%d)%s", h.Dim, h.Dim, suffix)
+}
+
+// N returns 2^(2n).
+func (h HCN) N() int { return 1 << (2 * h.Dim) }
+
+// Degree returns n+1 (n with degree-2 outliers when diameter links are
+// omitted — see the tests).
+func (h HCN) Degree() int { return h.Dim + 1 }
+
+// Diameter returns the exact diameter: n + floor((n+1)/3) + 1 with diameter
+// links (Ghose and Desai), and 2n + 1 without (Theorem 4.1 with l = 2,
+// D_G = n, t = 1). Both are validated by BFS in the tests.
+func (h HCN) Diameter() int {
+	if h.DiameterLinks {
+		return h.Dim + (h.Dim+1)/3 + 1
+	}
+	return 2*h.Dim + 1
+}
+
+// ID returns the node id of (I,J).
+func (h HCN) ID(i, j int) int32 { return int32(i<<h.Dim + j) }
+
+// Build realizes the HCN.
+func (h HCN) Build() (*graph.Graph, error) {
+	if h.Dim < 1 || h.Dim > 10 {
+		return nil, fmt.Errorf("hier: HCN dimension %d out of buildable range", h.Dim)
+	}
+	size := 1 << h.Dim
+	mask := size - 1
+	b := graph.NewBuilder(size*size, false)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			for bit := 0; bit < h.Dim; bit++ {
+				b.AddEdge(h.ID(i, j), h.ID(i, j^(1<<bit)))
+			}
+			if i != j {
+				b.AddEdge(h.ID(i, j), h.ID(j, i))
+			} else if h.DiameterLinks {
+				b.AddEdge(h.ID(i, i), h.ID(i^mask, i^mask))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// HFN is the hierarchical folded-hypercube network: the two-level structure
+// of Duh, Chen and Fang with folded hypercubes FQ_n as basic modules. Node
+// (I,J) has the FQ_n links within cluster I plus the swap link (I,J)-(J,I)
+// (and, mirroring the HCN, a complement link on the I == J nodes when
+// DiameterLinks is set).
+type HFN struct {
+	Dim           int
+	DiameterLinks bool
+}
+
+// Name returns e.g. "HFN(4)".
+func (h HFN) Name() string { return fmt.Sprintf("HFN(%d)", h.Dim) }
+
+// N returns 2^(2n).
+func (h HFN) N() int { return 1 << (2 * h.Dim) }
+
+// Degree returns n+2: the FQ_n degree n+1 plus one external link.
+func (h HFN) Degree() int { return h.Dim + 2 }
+
+// Diameter returns the diameter of the swap-link-only variant per Theorem
+// 4.1: l*D_G + t = 2*ceil(n/2) + 1. (The diameter-link variant is measured,
+// not closed-form, in this package.)
+func (h HFN) Diameter() int {
+	if h.DiameterLinks {
+		return -1 // no closed form implemented; measure via BFS
+	}
+	return 2*((h.Dim+1)/2) + 1
+}
+
+// ID returns the node id of (I,J).
+func (h HFN) ID(i, j int) int32 { return int32(i<<h.Dim + j) }
+
+// Build realizes the HFN.
+func (h HFN) Build() (*graph.Graph, error) {
+	if h.Dim < 1 || h.Dim > 10 {
+		return nil, fmt.Errorf("hier: HFN dimension %d out of buildable range", h.Dim)
+	}
+	size := 1 << h.Dim
+	mask := size - 1
+	b := graph.NewBuilder(size*size, false)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			for bit := 0; bit < h.Dim; bit++ {
+				b.AddEdge(h.ID(i, j), h.ID(i, j^(1<<bit)))
+			}
+			b.AddEdge(h.ID(i, j), h.ID(i, j^mask)) // folded complement link
+			if i != j {
+				b.AddEdge(h.ID(i, j), h.ID(j, i))
+			} else if h.DiameterLinks {
+				b.AddEdge(h.ID(i, i), h.ID(i^mask, i^mask))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// HHN is the hierarchical hypercube network HHN(m) of Yun and Park: son
+// m-cubes of 2^m nodes each, one per father-hypercube vertex. Node (F,S)
+// with F an (2^m)-bit string and S an m-bit string has the m local son-cube
+// links on S plus one external link flipping bit value(S) of F.
+// N = 2^(2^m + m); degree m+1.
+type HHN struct{ M int }
+
+// Name returns e.g. "HHN(3)".
+func (h HHN) Name() string { return fmt.Sprintf("HHN(%d)", h.M) }
+
+// N returns 2^(2^m + m).
+func (h HHN) N() int { return 1 << uint((1<<h.M)+h.M) }
+
+// Degree returns m+1.
+func (h HHN) Degree() int { return h.M + 1 }
+
+// Diameter has no closed form implemented here; it is measured via BFS in
+// the tests (the network is CCC-like: external links are only usable at
+// matching son positions).
+func (h HHN) Diameter() int { return -1 }
+
+// ID returns the node id of (F,S).
+func (h HHN) ID(f, s int) int32 { return int32(f<<h.M + s) }
+
+// Build realizes the HHN.
+func (h HHN) Build() (*graph.Graph, error) {
+	if h.M < 1 || h.M > 4 {
+		return nil, fmt.Errorf("hier: HHN parameter %d out of buildable range", h.M)
+	}
+	fathers := 1 << (1 << h.M)
+	sons := 1 << h.M
+	b := graph.NewBuilder(fathers*sons, false)
+	for f := 0; f < fathers; f++ {
+		for s := 0; s < sons; s++ {
+			for bit := 0; bit < h.M; bit++ {
+				b.AddEdge(h.ID(f, s), h.ID(f, s^(1<<bit)))
+			}
+			b.AddEdge(h.ID(f, s), h.ID(f^(1<<s), s))
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,178 @@
+package hier
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/superip"
+)
+
+func TestHCNStats(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for _, dl := range []bool{true, false} {
+			h := HCN{Dim: n, DiameterLinks: dl}
+			g, err := h.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != h.N() {
+				t.Fatalf("%s: %d nodes, want %d", h.Name(), g.N(), h.N())
+			}
+			st := g.AllPairs()
+			if !st.Connected {
+				t.Fatalf("%s disconnected", h.Name())
+			}
+			if int(st.Diameter) != h.Diameter() {
+				t.Fatalf("%s: diameter %d, analytic %d", h.Name(), st.Diameter, h.Diameter())
+			}
+			if dl {
+				if !g.IsRegular() || g.MaxDegree() != h.Degree() {
+					t.Fatalf("%s: degrees %v, want %d-regular", h.Name(), g.DegreeHistogram(), h.Degree())
+				}
+			} else if g.MaxDegree() != h.Degree() {
+				t.Fatalf("%s: max degree %d, want %d", h.Name(), g.MaxDegree(), h.Degree())
+			}
+		}
+	}
+}
+
+// TestHCNEqualsHSN2Qn verifies the paper's Section 2 claim: HCN(n,n)
+// without diameter links is the super-IP graph HSN(2;Q_n), via the explicit
+// bijection label [A|B] -> (I = bits(B), J = bits(A)).
+func TestHCNEqualsHSN2Qn(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		hcn := HCN{Dim: n, DiameterLinks: false}
+		direct, err := hcn.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := superip.HSN(2, superip.NucleusHypercube(n))
+		ipg, ix, err := net.BuildWithIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode a block of the pair-encoded label into cube coordinates:
+		// pair j in seed order = bit 0, swapped = bit 1.
+		bits := func(label []byte, block int) int {
+			v := 0
+			for j := 0; j < n; j++ {
+				if label[block*2*n+2*j] > label[block*2*n+2*j+1] {
+					v |= 1 << j
+				}
+			}
+			return v
+		}
+		mapping := make([]int32, ipg.N())
+		for u := 0; u < ipg.N(); u++ {
+			label := ix.Label(int32(u))
+			j := bits(label, 0) // leftmost block: node-within-cluster
+			i := bits(label, 1) // second block: cluster id
+			mapping[u] = hcn.ID(i, j)
+		}
+		if err := graph.VerifyIsomorphism(ipg, direct, mapping); err != nil {
+			t.Fatalf("n=%d: HSN(2;Q%d) is not HCN(%d,%d)-nd: %v", n, n, n, n, err)
+		}
+	}
+}
+
+func TestHCNDiameterLinkValue(t *testing.T) {
+	// Diameter links shorten the diameter from 2n+1 to n + (n+1)/3 + 1.
+	for n := 2; n <= 5; n++ {
+		with := HCN{Dim: n, DiameterLinks: true}
+		without := HCN{Dim: n, DiameterLinks: false}
+		if with.Diameter() >= without.Diameter() {
+			t.Fatalf("n=%d: diameter links do not help", n)
+		}
+	}
+}
+
+func TestHFN(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		h := HFN{Dim: n}
+		g, err := h.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != h.N() {
+			t.Fatalf("%s: %d nodes", h.Name(), g.N())
+		}
+		if g.MaxDegree() != h.Degree() {
+			t.Fatalf("%s: degree %d, want %d", h.Name(), g.MaxDegree(), h.Degree())
+		}
+		st := g.AllPairs()
+		if !st.Connected {
+			t.Fatalf("%s disconnected", h.Name())
+		}
+		if int(st.Diameter) != h.Diameter() {
+			t.Fatalf("%s: diameter %d, analytic %d", h.Name(), st.Diameter, h.Diameter())
+		}
+	}
+}
+
+// TestHFNEqualsHSN2FQn verifies that the swap-only HFN is HSN(2;FQ_n).
+func TestHFNEqualsHSN2FQn(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		hfn := HFN{Dim: n}
+		direct, err := hfn.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := superip.HSN(2, superip.NucleusFoldedHypercube(n))
+		ipg, ix, err := net.BuildWithIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := func(label []byte, block int) int {
+			v := 0
+			for j := 0; j < n; j++ {
+				if label[block*2*n+2*j] > label[block*2*n+2*j+1] {
+					v |= 1 << j
+				}
+			}
+			return v
+		}
+		mapping := make([]int32, ipg.N())
+		for u := 0; u < ipg.N(); u++ {
+			label := ix.Label(int32(u))
+			mapping[u] = hfn.ID(bits(label, 1), bits(label, 0))
+		}
+		if err := graph.VerifyIsomorphism(ipg, direct, mapping); err != nil {
+			t.Fatalf("n=%d: HSN(2;FQ%d) is not swap-only HFN: %v", n, n, err)
+		}
+	}
+}
+
+func TestHHN(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		h := HHN{M: m}
+		g, err := h.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != h.N() {
+			t.Fatalf("%s: %d nodes, want %d", h.Name(), g.N(), h.N())
+		}
+		if g.MaxDegree() != h.Degree() {
+			t.Fatalf("%s: degree %d, want %d", h.Name(), g.MaxDegree(), h.Degree())
+		}
+		if !g.AllPairs().Connected {
+			t.Fatalf("%s disconnected", h.Name())
+		}
+	}
+	// HHN(3) is 2048 nodes of degree 4.
+	if (HHN{M: 3}).N() != 2048 {
+		t.Fatal("HHN(3) size")
+	}
+}
+
+func TestBuildRangeErrors(t *testing.T) {
+	if _, err := (HCN{Dim: 11}).Build(); err == nil {
+		t.Fatal("oversized HCN must fail")
+	}
+	if _, err := (HFN{Dim: 0}).Build(); err == nil {
+		t.Fatal("undersized HFN must fail")
+	}
+	if _, err := (HHN{M: 5}).Build(); err == nil {
+		t.Fatal("oversized HHN must fail")
+	}
+}

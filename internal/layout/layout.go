@@ -1,0 +1,176 @@
+// Package layout places interconnection networks on a 2-D grid and measures
+// wire cost, in the spirit of the authors' companion "recursive grid layout"
+// paper ([31] in the reproduced paper's references): nodes are assigned to
+// grid points by recursive (Kernighan-Lin) bisection with alternating cut
+// directions, and edges are costed by Manhattan wirelength. Hierarchical
+// networks with small bisection width lay out with far less wire than
+// hypercubes of the same size — the quantitative backdrop to Section 5's
+// packaging arguments.
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bisect"
+	"repro/internal/graph"
+)
+
+// Point is a grid coordinate.
+type Point struct{ X, Y int }
+
+// Placement assigns one grid point per node.
+type Placement struct {
+	Pos  []Point
+	Cols int
+	Rows int
+}
+
+// Result summarizes the wire cost of a placement.
+type Result struct {
+	// TotalWirelength is the sum of Manhattan edge lengths.
+	TotalWirelength int
+	// MaxWirelength is the longest single edge.
+	MaxWirelength int
+	// AvgWirelength is TotalWirelength / #edges.
+	AvgWirelength float64
+	// Area is the bounding grid area Rows*Cols.
+	Area int
+}
+
+// RecursiveBisection places the nodes of g on a near-square grid: the node
+// set is recursively bisected (Kernighan-Lin on the induced subgraph) to
+// produce a locality-preserving linear order, and the order is laid along a
+// serpentine (boustrophedon) scan of the grid, so consecutive order
+// positions are always grid-adjacent. Deterministic for a given seed.
+// Intended for graphs up to a few thousand nodes.
+func RecursiveBisection(g *graph.Graph, seed int64) (*Placement, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("layout: empty graph")
+	}
+	if g.N() > 1<<13 {
+		return nil, fmt.Errorf("layout: %d nodes too large for KL-based placement", g.N())
+	}
+	cols := 1
+	for cols*cols < g.N() {
+		cols++
+	}
+	rows := (g.N() + cols - 1) / cols
+	p := &Placement{Pos: make([]Point, g.N()), Cols: cols, Rows: rows}
+	nodes := make([]int32, g.N())
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int32, 0, g.N())
+	orderNodes(g, nodes, rng, &order)
+	for i, v := range order {
+		row := i / cols
+		col := i % cols
+		if row%2 == 1 {
+			col = cols - 1 - col // serpentine: reverse odd rows
+		}
+		p.Pos[v] = Point{col, row}
+	}
+	return p, nil
+}
+
+// orderNodes recursively bisects the node set and appends a
+// locality-preserving order to out.
+func orderNodes(g *graph.Graph, nodes []int32, rng *rand.Rand, out *[]int32) {
+	if len(nodes) <= 2 {
+		*out = append(*out, nodes...)
+		return
+	}
+	sideA, sideB := partitionNodes(g, nodes, rng)
+	orderNodes(g, sideA, rng, out)
+	orderNodes(g, sideB, rng, out)
+}
+
+// partitionNodes bisects the node subset with one randomized KL pass on the
+// induced subgraph.
+func partitionNodes(g *graph.Graph, nodes []int32, rng *rand.Rand) ([]int32, []int32) {
+	// Build the induced subgraph.
+	idx := make(map[int32]int32, len(nodes))
+	for i, v := range nodes {
+		idx[v] = int32(i)
+	}
+	b := graph.NewBuilder(len(nodes), false)
+	for i, v := range nodes {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := idx[u]; ok && j > int32(i) {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	sub := b.Build()
+	side := klSplit(sub, rng)
+	var a, bb []int32
+	for i, v := range nodes {
+		if side[i] {
+			bb = append(bb, v)
+		} else {
+			a = append(a, v)
+		}
+	}
+	return a, bb
+}
+
+// klSplit produces a balanced bipartition of sub via the bisect package's
+// refinement, starting from a random balanced split.
+func klSplit(sub *graph.Graph, rng *rand.Rand) []bool {
+	n := sub.N()
+	perm := rng.Perm(n)
+	side := make([]bool, n)
+	for i, v := range perm {
+		side[v] = i >= (n+1)/2
+	}
+	bisect.Refine(sub, side)
+	return side
+}
+
+// Measure computes the wire cost of a placement.
+func Measure(g *graph.Graph, p *Placement) Result {
+	res := Result{Area: p.Cols * p.Rows}
+	edges := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if !g.Directed && v < int32(u) {
+				continue
+			}
+			a, b := p.Pos[u], p.Pos[v]
+			d := abs(a.X-b.X) + abs(a.Y-b.Y)
+			res.TotalWirelength += d
+			if d > res.MaxWirelength {
+				res.MaxWirelength = d
+			}
+			edges++
+		}
+	}
+	if edges > 0 {
+		res.AvgWirelength = float64(res.TotalWirelength) / float64(edges)
+	}
+	return res
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Validate checks that the placement is injective and in bounds.
+func (p *Placement) Validate() error {
+	seen := map[Point]bool{}
+	for u, pt := range p.Pos {
+		if pt.X < 0 || pt.X >= p.Cols || pt.Y < 0 || pt.Y >= p.Rows {
+			return fmt.Errorf("layout: node %d at %v out of %dx%d grid", u, pt, p.Cols, p.Rows)
+		}
+		if seen[pt] {
+			return fmt.Errorf("layout: grid point %v used twice", pt)
+		}
+		seen[pt] = true
+	}
+	return nil
+}

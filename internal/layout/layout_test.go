@@ -1,0 +1,134 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/networks"
+	"repro/internal/superip"
+)
+
+func TestPlacementValidity(t *testing.T) {
+	for _, spec := range []networks.Spec{
+		networks.Ring{Nodes: 17},
+		networks.Hypercube{Dim: 6},
+		networks.Torus2D{Rows: 8, Cols: 8},
+		networks.Star{Symbols: 5},
+	} {
+		g, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := RecursiveBisection(g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		res := Measure(g, p)
+		if res.TotalWirelength <= 0 || res.Area < g.N() {
+			t.Fatalf("%s: degenerate layout %+v", spec.Name(), res)
+		}
+	}
+}
+
+func TestMeshLaysOutWell(t *testing.T) {
+	// A planar mesh must lay out with low average wirelength (close to 1
+	// per edge up to the heuristic's imperfection).
+	g, err := networks.Mesh2D{Rows: 8, Cols: 8}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RecursiveBisection(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Measure(g, p)
+	if res.AvgWirelength > 3.0 {
+		t.Fatalf("mesh average wirelength %v too high", res.AvgWirelength)
+	}
+}
+
+func TestHSNCheaperThanHypercube(t *testing.T) {
+	// The locality claim quantified: at 256 nodes, HSN(2;Q4) needs less
+	// total wire than Q8 under the same placement heuristic (it has both
+	// fewer edges and stronger locality).
+	q8, err := networks.Hypercube{Dim: 8}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsnG, err := superip.HSN(2, superip.NucleusHypercube(4)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := RecursiveBisection(q8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := RecursiveBisection(hsnG, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq := Measure(q8, pq).TotalWirelength
+	wh := Measure(hsnG, ph).TotalWirelength
+	if wh >= wq {
+		t.Fatalf("HSN wirelength %d should beat Q8's %d", wh, wq)
+	}
+	// Per-edge, the HSN should also be cheaper or comparable.
+	aq := Measure(q8, pq).AvgWirelength
+	ah := Measure(hsnG, ph).AvgWirelength
+	if ah > aq*1.2 {
+		t.Fatalf("HSN avg wirelength %v much worse than Q8's %v", ah, aq)
+	}
+}
+
+func TestNucleusLocality(t *testing.T) {
+	// Nodes of the same nucleus should end up close together: measure the
+	// average intra-module vs inter-module wirelength on HSN(2;Q3).
+	net := superip.HSN(2, superip.NucleusHypercube(3))
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	p, err := RecursiveBisection(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter, nIntra, nInter int
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if v < int32(u) {
+				continue
+			}
+			d := abs(p.Pos[u].X-p.Pos[v].X) + abs(p.Pos[u].Y-p.Pos[v].Y)
+			if part.Of[u] == part.Of[v] {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("degenerate edge classes")
+	}
+	if float64(intra)/float64(nIntra) > float64(inter)/float64(nInter) {
+		t.Fatalf("intra-module wires (%d/%d) should be shorter than inter-module (%d/%d)",
+			intra, nIntra, inter, nInter)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := RecursiveBisection(graph.NewBuilder(0, false).Build(), 1); err == nil {
+		t.Fatal("empty graph must fail")
+	}
+	big := graph.NewBuilder(1<<14, false)
+	big.AddEdge(0, 1)
+	if _, err := RecursiveBisection(big.Build(), 1); err == nil {
+		t.Fatal("oversized graph must fail")
+	}
+}

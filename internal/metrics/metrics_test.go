@@ -1,0 +1,337 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/networks"
+	"repro/internal/superip"
+)
+
+func TestSubcubePartitionHypercube(t *testing.T) {
+	// Section 5.3: a node of a 17-cube with a 3-cube per module has 14
+	// off-module links; we verify the law degree = n - c on feasible sizes.
+	for _, tc := range []struct{ n, c int }{{4, 2}, {6, 3}, {8, 4}, {10, 3}} {
+		g, err := networks.Hypercube{Dim: tc.n}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := SubcubePartition(g.N(), tc.c)
+		if err := p.Validate(g.N()); err != nil {
+			t.Fatal(err)
+		}
+		if p.MaxClusterSize() != 1<<tc.c {
+			t.Fatalf("Q%d/%d: cluster size %d", tc.n, tc.c, p.MaxClusterSize())
+		}
+		want := tc.n - tc.c
+		if got := MaxOffModuleLinks(g, p); got != want {
+			t.Fatalf("Q%d with Q%d modules: %d off-module links per node, want %d",
+				tc.n, tc.c, got, want)
+		}
+		if got := IDegree(g, p); math.Abs(got-float64(want)) > 1e-9 {
+			t.Fatalf("Q%d I-degree = %v, want %d", tc.n, got, want)
+		}
+		// I-diameter of a hypercube with subcube modules: the remaining
+		// n - c dimensions each need one off-module hop.
+		st := IStats(g, p)
+		if int(st.Diameter) != want {
+			t.Fatalf("Q%d I-diameter = %d, want %d", tc.n, st.Diameter, want)
+		}
+	}
+}
+
+func TestNucleusPartitionHSN(t *testing.T) {
+	// Section 5.3: an l-level HSN with one nucleus per module has at most
+	// l-1 off-module links per node, and I-diameter t = l-1.
+	for l := 2; l <= 4; l++ {
+		net := superip.HSN(l, superip.NucleusHypercube(2))
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NucleusPartition(ix, net.Nucleus.Nuc.M())
+		if err := p.Validate(g.N()); err != nil {
+			t.Fatal(err)
+		}
+		if p.MaxClusterSize() != net.Nucleus.Size {
+			t.Fatalf("HSN(%d): cluster size %d, want %d", l, p.MaxClusterSize(), net.Nucleus.Size)
+		}
+		if got := MaxOffModuleLinks(g, p); got != net.SuperDegree() {
+			t.Fatalf("HSN(%d): %d off-module links per node, want %d", l, got, net.SuperDegree())
+		}
+		st := IStats(g, p)
+		if int(st.Diameter) != net.IDiameter() {
+			t.Fatalf("HSN(%d): I-diameter %d, want %d", l, st.Diameter, net.IDiameter())
+		}
+	}
+}
+
+func TestNucleusPartitionRingCN(t *testing.T) {
+	for _, l := range []int{3, 4, 5} {
+		net := superip.RingCN(l, superip.NucleusHypercube(2))
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NucleusPartition(ix, net.Nucleus.Nuc.M())
+		if got := MaxOffModuleLinks(g, p); got != 2 {
+			t.Fatalf("ring-CN(%d): %d off-module links per node, want 2", l, got)
+		}
+		st := IStats(g, p)
+		if int(st.Diameter) != l-1 {
+			t.Fatalf("ring-CN(%d): I-diameter %d, want %d", l, st.Diameter, l-1)
+		}
+	}
+}
+
+func TestIDegreeDeBruijn(t *testing.T) {
+	// Section 5.3: the maximum number of off-module links per node in a de
+	// Bruijn graph is 4 when nodes sharing their most significant bits are
+	// packed together.
+	g, err := networks.DeBruijn{Base: 2, Dim: 8}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SubcubePartition(g.N(), 4) // shared high bits = id >> 4
+	if got := MaxOffModuleLinks(g, p); got != 4 {
+		t.Fatalf("de Bruijn off-module links = %d, want 4", got)
+	}
+}
+
+func TestGridPartitionTorus(t *testing.T) {
+	tor := networks.Torus2D{Rows: 8, Cols: 8}
+	g, err := tor.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := GridPartition(8, 8, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 4 || p.MaxClusterSize() != 16 {
+		t.Fatalf("grid partition K=%d size=%d", p.K, p.MaxClusterSize())
+	}
+	// Boundary nodes of a 4x4 tile have 1 or 2 off-module links.
+	if got := MaxOffModuleLinks(g, p); got != 2 {
+		t.Fatalf("torus corner off-module links = %d, want 2", got)
+	}
+	if _, err := GridPartition(8, 8, 3, 4); err == nil {
+		t.Fatal("non-divisible tiling must fail")
+	}
+}
+
+func TestIStatsAverageHSN2(t *testing.T) {
+	// HSN(2;Q2) with nucleus modules: a pair needs 0 off-module hops iff
+	// source and destination lie in the same module... verify the exact
+	// average against a direct computation from the weighted BFS.
+	net := superip.HSN(2, superip.NucleusHypercube(2))
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NucleusPartition(ix, net.Nucleus.Nuc.M())
+	st := IStats(g, p)
+	if st.Diameter != 1 {
+		t.Fatalf("HSN(2;Q2) I-diameter = %d, want 1", st.Diameter)
+	}
+	// Direct recount over all pairs.
+	var sum, pairs int64
+	for u := 0; u < g.N(); u++ {
+		dist := g.ZeroOneBFS(int32(u), p.CrossWeight())
+		for v, d := range dist {
+			if v == u {
+				continue
+			}
+			sum += int64(d)
+			pairs++
+		}
+	}
+	want := float64(sum) / float64(pairs)
+	if math.Abs(st.AvgDistance-want) > 1e-12 {
+		t.Fatalf("avg I-distance %v, recount %v", st.AvgDistance, want)
+	}
+	if st.AvgDistance <= 0 || st.AvgDistance >= 1 {
+		t.Fatalf("HSN(2;Q2) avg I-distance = %v, expected within (0,1)", st.AvgDistance)
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	if DDCost(4, 5) != 20 {
+		t.Fatal("DDCost")
+	}
+	if IDCost(1.5, 4) != 6 {
+		t.Fatal("IDCost")
+	}
+	if IICost(2, 3) != 6 {
+		t.Fatal("IICost")
+	}
+}
+
+func TestMooreDiameterLB(t *testing.T) {
+	// Degree-2: a ring is exactly Moore-optimal.
+	for _, n := range []int{3, 5, 9, 100} {
+		if got, want := MooreDiameterLB(2, n), n/2; got != want {
+			t.Fatalf("Moore LB (d=2, n=%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Petersen is a Moore graph: degree 3, diameter 2, 10 nodes.
+	if MooreDiameterLB(3, 10) != 2 {
+		t.Fatalf("Moore LB for Petersen = %d, want 2", MooreDiameterLB(3, 10))
+	}
+	// Complete graph: diameter 1 bound.
+	if MooreDiameterLB(9, 10) != 1 {
+		t.Fatal("Moore LB for K10")
+	}
+	// Degenerate degrees.
+	if MooreDiameterLB(1, 2) != 1 || MooreDiameterLB(1, 3) != math.MaxInt32 {
+		t.Fatal("degree-1 bounds")
+	}
+	if MooreDiameterLB(0, 5) != math.MaxInt32 {
+		t.Fatal("degree-0 bound")
+	}
+	if MooreDiameterLB(5, 1) != 0 {
+		t.Fatal("single node bound")
+	}
+	// The bound is a true lower bound for every network we can build.
+	specs := []networks.Spec{
+		networks.Hypercube{Dim: 6},
+		networks.Star{Symbols: 5},
+		networks.KAryNCube{K: 4, Dims: 3},
+		networks.CCC{Dim: 4},
+		networks.Petersen{},
+	}
+	for _, s := range specs {
+		lb := MooreDiameterLB(s.Degree(), s.N())
+		if s.Diameter() < lb {
+			t.Fatalf("%s: diameter %d below Moore bound %d", s.Name(), s.Diameter(), lb)
+		}
+	}
+}
+
+func TestOptimalityFactorTrend(t *testing.T) {
+	// Theorem 4.4 flavor: for HSN(l; K_m) (complete-graph nucleus, which is
+	// Moore-optimal), the optimality factor stays bounded by a small
+	// constant as the network grows.
+	for _, tc := range []struct{ l, m int }{{2, 4}, {3, 4}, {2, 8}, {3, 8}, {4, 8}, {5, 16}} {
+		net := superip.RCC(tc.l, tc.m)
+		f := OptimalityFactor(net.Diameter(), net.Degree(), net.N())
+		if f < 1 {
+			t.Fatalf("RCC(%d;K%d): optimality factor %v below 1 (diameter beats Moore?)", tc.l, tc.m, f)
+		}
+		if f > 4 {
+			t.Fatalf("RCC(%d;K%d): optimality factor %v too large", tc.l, tc.m, f)
+		}
+	}
+}
+
+func TestPartitionValidateErrors(t *testing.T) {
+	p := Partition{Of: []int32{0, 1}, K: 3}
+	if err := p.Validate(2); err == nil {
+		t.Fatal("empty cluster must fail")
+	}
+	p = Partition{Of: []int32{0, 5}, K: 2}
+	if err := p.Validate(2); err == nil {
+		t.Fatal("out-of-range cluster must fail")
+	}
+	p = Partition{Of: []int32{0}, K: 1}
+	if err := p.Validate(2); err == nil {
+		t.Fatal("wrong length must fail")
+	}
+}
+
+func TestThroughputBound(t *testing.T) {
+	// Ring of n: M = 2n directed links, avg distance ~ n/4: bound ~ 8/n.
+	g, _ := networks.Ring{Nodes: 16}.Build()
+	st := g.AllPairs()
+	b := ThroughputBound(g, st.AvgDistance)
+	if b <= 0 || b > 1 {
+		t.Fatalf("ring throughput bound = %v", b)
+	}
+	// A complete graph can absorb one packet per node per cycle.
+	k, _ := networks.Complete{Nodes: 8}.Build()
+	kb := ThroughputBound(k, 1)
+	if kb < 1 {
+		t.Fatalf("K8 bound %v below 1", kb)
+	}
+	if ThroughputBound(g, 0) != math.Inf(1) {
+		t.Fatal("zero distance bound must be infinite")
+	}
+}
+
+func TestOffModuleThroughputBound(t *testing.T) {
+	net := superip.HSN(2, superip.NucleusHypercube(3))
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NucleusPartition(ix, net.Nucleus.Nuc.M())
+	ist := IStats(g, p)
+	b1 := OffModuleThroughputBound(g, p, ist.AvgDistance, 1)
+	b4 := OffModuleThroughputBound(g, p, ist.AvgDistance, 4)
+	if b1 <= 0 || b4 <= 0 {
+		t.Fatal("bounds must be positive")
+	}
+	if b4*4 != b1 {
+		t.Fatalf("period scaling wrong: %v vs %v", b1, b4)
+	}
+	// The hypercube with the same module count has more off-module links
+	// but proportionally more off-module traffic; its bound per the paper
+	// is lower per off-module pin... just sanity-check positivity ordering
+	// against simulated saturation elsewhere.
+}
+
+func TestSubstarPartitionStar(t *testing.T) {
+	// Section 5.3: pack each 3-star (6 nodes, the substar fixing all but the
+	// first three positions) into a module; every node then has n-3
+	// off-module links (its star generators (1,4)..(1,n)).
+	for _, n := range []int{5, 6} {
+		g, err := networks.Star{Symbols: n}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// networks.Star enumerates permutations in recursive lexicographic
+		// order; recover each node's permutation the same way to build the
+		// suffix-based partition.
+		perms := enumeratePerms(n)
+		p := PartitionBy(g.N(), func(u int32) string {
+			return string(perms[u][3:])
+		})
+		if err := p.Validate(g.N()); err != nil {
+			t.Fatal(err)
+		}
+		if p.MaxClusterSize() != 6 {
+			t.Fatalf("star(%d) substar module size %d, want 3! = 6", n, p.MaxClusterSize())
+		}
+		if got := MaxOffModuleLinks(g, p); got != n-3 {
+			t.Fatalf("star(%d) off-module links = %d, want n-3 = %d", n, got, n-3)
+		}
+	}
+}
+
+// enumeratePerms matches networks.Star's deterministic enumeration order.
+func enumeratePerms(n int) [][]byte {
+	var out [][]byte
+	cur := make([]byte, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			out = append(out, append([]byte(nil), cur...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !used[v] {
+				used[v] = true
+				cur = append(cur, byte(v))
+				rec()
+				cur = cur[:len(cur)-1]
+				used[v] = false
+			}
+		}
+	}
+	rec()
+	return out
+}

@@ -1,0 +1,382 @@
+// Package netsim is a synchronous packet-switched network simulator used to
+// back the paper's Section 5 performance arguments empirically. The paper
+// argues analytically that, when transmissions over off-module links are
+// slower (or more contended) than on-module links, the latency of a network
+// under light load tracks its II-cost (inter-cluster degree times
+// inter-cluster diameter) and the DD-/ID-costs in the equal-speed cases.
+// The authors had no testbed; this simulator is the synthetic equivalent:
+// one outgoing FIFO per directed link, configurable message length with
+// store-and-forward or cut-through switching, uniform/transpose/complement/
+// hotspot traffic patterns, and a configurable service period for
+// off-module links.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/route"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Graph is the network topology (undirected or directed).
+	Graph *graph.Graph
+	// Partition optionally assigns nodes to modules; links inside a module
+	// are fast, links between modules are slow. Nil means one module.
+	Partition *metrics.Partition
+	// OffModulePeriod is the service time in cycles of an off-module link
+	// (on-module links always have period 1). 1 = all links equal.
+	OffModulePeriod int
+	// InjectionRate is the probability per node per cycle of injecting a
+	// packet with a uniformly random destination.
+	InjectionRate float64
+	// WarmupCycles are simulated but packets injected during them are not
+	// measured. MeasureCycles follow; then the run drains in-flight
+	// measured packets for up to DrainCycles.
+	WarmupCycles, MeasureCycles, DrainCycles int
+	// Seed makes runs deterministic.
+	Seed int64
+	// Flits is the message length in flits (default 1). A link transmitting
+	// a message stays busy for Flits * period cycles.
+	Flits int
+	// CutThrough, when true, lets the head flit proceed to the next node
+	// after one link period while the tail still occupies the link
+	// (cut-through / wormhole-style pipelining). When false, messages are
+	// forwarded store-and-forward: the whole message must arrive before the
+	// next hop begins.
+	CutThrough bool
+	// Pattern selects the destination for a packet injected at src (nil =
+	// uniform random over the other nodes). See Uniform, Transpose,
+	// BitComplement, Hotspot.
+	Pattern PatternFunc
+	// Adaptive, when true, spreads traffic across ALL minimal next hops
+	// (random choice per packet per hop) instead of a single deterministic
+	// shortest-path tree. Paths stay minimal; load balance improves.
+	Adaptive bool
+	// PeriodFunc, when non-nil, overrides Partition/OffModulePeriod with an
+	// arbitrary per-link service time — e.g. a multi-level packaging
+	// hierarchy (chip / board / cage) with different speeds per level.
+	// Must return >= 1.
+	PeriodFunc func(u, v int32) int
+}
+
+// PatternFunc picks a destination for a packet injected at src; returning
+// src means "skip this injection" (used by patterns with fixed pairings).
+type PatternFunc func(src int32, n int, rng *rand.Rand) int32
+
+// Uniform is the default pattern: a uniformly random destination != src.
+func Uniform(src int32, n int, rng *rand.Rand) int32 {
+	d := int32(rng.Intn(n - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends node (x,y) to (y,x): the id's high and low bit halves are
+// swapped. Requires n to be a power of two with an even exponent; other
+// sizes fall back to BitComplement.
+func Transpose(src int32, n int, _ *rand.Rand) int32 {
+	bitsN := 0
+	for 1<<bitsN < n {
+		bitsN++
+	}
+	if 1<<bitsN != n || bitsN%2 != 0 {
+		return BitComplement(src, n, nil)
+	}
+	half := bitsN / 2
+	lo := src & (1<<half - 1)
+	hi := src >> half
+	return lo<<half | hi
+}
+
+// BitComplement sends node u to its bitwise complement (n must be a power
+// of two; otherwise the antipode (u + n/2) mod n is used).
+func BitComplement(src int32, n int, _ *rand.Rand) int32 {
+	bitsN := 0
+	for 1<<bitsN < n {
+		bitsN++
+	}
+	if 1<<bitsN == n {
+		return src ^ int32(n-1)
+	}
+	return (src + int32(n/2)) % int32(n)
+}
+
+// Hotspot returns a pattern that sends traffic to node 0 with probability
+// p and uniformly otherwise.
+func Hotspot(p float64) PatternFunc {
+	return func(src int32, n int, rng *rand.Rand) int32 {
+		if rng.Float64() < p && src != 0 {
+			return 0
+		}
+		return Uniform(src, n, rng)
+	}
+}
+
+// Stats reports the outcome of a run.
+type Stats struct {
+	// Injected counts measured packets (injected during the measurement
+	// window); Delivered counts those that reached their destination before
+	// the drain deadline.
+	Injected, Delivered int
+	// AvgLatency is the mean delivery latency (cycles) of measured packets.
+	AvgLatency float64
+	// MaxLatency is the worst delivery latency observed.
+	MaxLatency int
+	// Throughput is delivered measured packets per node per cycle.
+	Throughput float64
+}
+
+type packet struct {
+	dst      int32
+	born     int
+	measured bool
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Stats, error) {
+	g := cfg.Graph
+	if g == nil || g.N() < 2 {
+		return Stats{}, fmt.Errorf("netsim: need a graph with at least 2 nodes")
+	}
+	if cfg.OffModulePeriod < 1 {
+		cfg.OffModulePeriod = 1
+	}
+	if cfg.InjectionRate < 0 || cfg.InjectionRate > 1 {
+		return Stats{}, fmt.Errorf("netsim: injection rate %v out of [0,1]", cfg.InjectionRate)
+	}
+	if cfg.DrainCycles == 0 {
+		cfg.DrainCycles = 10 * (cfg.WarmupCycles + cfg.MeasureCycles)
+	}
+	if cfg.Flits < 1 {
+		cfg.Flits = 1
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = Uniform
+	}
+	n := g.N()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Per-destination next-hop tables, built lazily.
+	tables := make([]route.NextHopTable, n)
+	var allTables [][][]int32
+	if cfg.Adaptive {
+		allTables = make([][][]int32, n)
+	}
+	nextHop := func(cur, dst int32) (int32, error) {
+		if cfg.Adaptive {
+			if allTables[dst] == nil {
+				allTables[dst] = route.BFSAllNextHops(g, dst)
+			}
+			opts := allTables[dst][cur]
+			if len(opts) == 0 {
+				return 0, fmt.Errorf("netsim: no route from %d to %d", cur, dst)
+			}
+			return opts[rng.Intn(len(opts))], nil
+		}
+		if tables[dst] == nil {
+			tables[dst] = route.BFSNextHops(g, dst)
+		}
+		nh := tables[dst][cur]
+		if nh < 0 {
+			return 0, fmt.Errorf("netsim: no route from %d to %d", cur, dst)
+		}
+		return nh, nil
+	}
+
+	period := func(u, v int32) int {
+		if cfg.PeriodFunc != nil {
+			if p := cfg.PeriodFunc(u, v); p >= 1 {
+				return p
+			}
+			return 1
+		}
+		if cfg.Partition == nil || cfg.Partition.Of[u] == cfg.Partition.Of[v] {
+			return 1
+		}
+		return cfg.OffModulePeriod
+	}
+
+	// One FIFO per directed link, indexed by (node, neighbor slot).
+	type link struct {
+		queue  []packet
+		freeAt int
+	}
+	links := make([][]link, n)
+	slotOf := make([]map[int32]int, n)
+	for u := 0; u < n; u++ {
+		adj := g.Neighbors(int32(u))
+		links[u] = make([]link, len(adj))
+		slotOf[u] = make(map[int32]int, len(adj))
+		for s, v := range adj {
+			slotOf[u][v] = s
+		}
+	}
+	// Future arrivals ring buffer, sized for the longest possible delay
+	// (a full store-and-forward message on a slow link).
+	maxPeriod := cfg.OffModulePeriod
+	if cfg.PeriodFunc != nil {
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(int32(u)) {
+				if p := cfg.PeriodFunc(int32(u), v); p > maxPeriod {
+					maxPeriod = p
+				}
+			}
+		}
+	}
+	maxDelay := maxPeriod * cfg.Flits
+	type arrival struct {
+		node int32
+		pkt  packet
+	}
+	ring := make([][]arrival, maxDelay+1)
+
+	st := Stats{}
+	var latencySum int64
+	enqueue := func(now int, at int32, pkt packet) error {
+		if pkt.dst == at {
+			if pkt.measured {
+				st.Delivered++
+				lat := now - pkt.born
+				latencySum += int64(lat)
+				if lat > st.MaxLatency {
+					st.MaxLatency = lat
+				}
+			}
+			return nil
+		}
+		nh, err := nextHop(at, pkt.dst)
+		if err != nil {
+			return err
+		}
+		slot := slotOf[at][nh]
+		links[at][slot].queue = append(links[at][slot].queue, pkt)
+		return nil
+	}
+
+	inFlightMeasured := 0
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	deadline := total + cfg.DrainCycles
+	for now := 0; now < deadline; now++ {
+		// Deliver arrivals scheduled for this cycle.
+		slot := now % len(ring)
+		for _, a := range ring[slot] {
+			if a.pkt.measured && a.pkt.dst == a.node {
+				inFlightMeasured--
+			}
+			if err := enqueue(now, a.node, a.pkt); err != nil {
+				return st, err
+			}
+		}
+		ring[slot] = ring[slot][:0]
+		// Inject new traffic.
+		if now < total {
+			for u := 0; u < n; u++ {
+				if rng.Float64() < cfg.InjectionRate {
+					dst := cfg.Pattern(int32(u), n, rng)
+					if dst == int32(u) || dst < 0 || int(dst) >= n {
+						continue
+					}
+					measured := now >= cfg.WarmupCycles
+					if measured {
+						st.Injected++
+						inFlightMeasured++
+					}
+					if err := enqueue(now, int32(u), packet{dst: dst, born: now, measured: measured}); err != nil {
+						return st, err
+					}
+				}
+			}
+		} else if inFlightMeasured == 0 {
+			break
+		}
+		// Advance links: each free link transmits the head of its queue.
+		for u := 0; u < n; u++ {
+			adj := g.Neighbors(int32(u))
+			for s := range links[u] {
+				lk := &links[u][s]
+				if len(lk.queue) == 0 || lk.freeAt > now {
+					continue
+				}
+				pkt := lk.queue[0]
+				lk.queue = lk.queue[1:]
+				p := period(int32(u), adj[s])
+				occupy := p * cfg.Flits
+				lk.freeAt = now + occupy
+				delay := occupy // store-and-forward: whole message arrives
+				if cfg.CutThrough {
+					delay = p // head proceeds while the tail drains
+				}
+				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
+			}
+		}
+	}
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(latencySum) / float64(st.Delivered)
+	}
+	if cfg.MeasureCycles > 0 {
+		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
+	}
+	return st, nil
+}
+
+// LoadSweep runs the simulation at each injection rate and returns the
+// stats, the standard throughput-vs-offered-load curve of the evaluation
+// harness. The config's InjectionRate field is ignored.
+func LoadSweep(cfg Config, rates []float64) ([]Stats, error) {
+	out := make([]Stats, 0, len(rates))
+	for _, rate := range rates {
+		c := cfg
+		c.InjectionRate = rate
+		st, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Saturation estimates the saturation throughput of the network: the
+// highest injection rate at which at least accept (e.g. 0.9) of the
+// measured packets are delivered by the drain deadline, found by binary
+// search over [0, hi]. Returns the rate and its stats. The paper's Section
+// 5.1 observation — maximum throughput inversely proportional to average
+// distance — can be checked against metrics.ThroughputBound.
+func Saturation(cfg Config, hi float64, accept float64, steps int) (float64, Stats, error) {
+	if hi <= 0 || hi > 1 {
+		return 0, Stats{}, fmt.Errorf("netsim: hi rate %v out of (0,1]", hi)
+	}
+	if accept <= 0 || accept > 1 {
+		return 0, Stats{}, fmt.Errorf("netsim: accept fraction %v out of (0,1]", accept)
+	}
+	lo := 0.0
+	var best Stats
+	bestRate := 0.0
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		c := cfg
+		c.InjectionRate = mid
+		// Keep the drain short: a sustainable rate leaves only in-flight
+		// packets at the end of the measurement window, while an
+		// over-saturated rate leaves a backlog that a short drain cannot
+		// clear — which is exactly the signal the search needs.
+		if c.DrainCycles == 0 {
+			c.DrainCycles = 100
+		}
+		st, err := Run(c)
+		if err != nil {
+			return 0, Stats{}, err
+		}
+		if st.Injected > 0 && float64(st.Delivered) >= accept*float64(st.Injected) {
+			lo, best, bestRate = mid, st, mid
+		} else {
+			hi = mid
+		}
+	}
+	return bestRate, best, nil
+}

@@ -1,0 +1,749 @@
+// Package networks provides direct (non-IP-model) constructions of the
+// classical interconnection networks that the paper compares against, each
+// with closed-form topological statistics (size, degree, diameter). Every
+// closed form is validated against exhaustive BFS in the test suite on all
+// instances small enough to build, so the analytic values used for the
+// paper's large-scale comparison figures are trustworthy.
+package networks
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Spec describes a parameterized network family instance: its analytic
+// statistics, and how to realize it as a concrete graph.
+type Spec interface {
+	// Name returns a short identifier such as "Q10" or "star(7)".
+	Name() string
+	// N returns the number of nodes.
+	N() int
+	// Degree returns the maximum node degree.
+	Degree() int
+	// Diameter returns the diameter (undirected hop distance).
+	Diameter() int
+	// Build realizes the network as a graph.
+	Build() (*graph.Graph, error)
+}
+
+// ---------------------------------------------------------------- Ring
+
+// Ring is the cycle C_n.
+type Ring struct{ Nodes int }
+
+func (r Ring) Name() string { return fmt.Sprintf("ring(%d)", r.Nodes) }
+func (r Ring) N() int       { return r.Nodes }
+func (r Ring) Degree() int {
+	if r.Nodes <= 2 {
+		return r.Nodes - 1
+	}
+	return 2
+}
+func (r Ring) Diameter() int { return r.Nodes / 2 }
+func (r Ring) Build() (*graph.Graph, error) {
+	if r.Nodes < 1 {
+		return nil, fmt.Errorf("networks: ring needs >= 1 node")
+	}
+	b := graph.NewBuilder(r.Nodes, false)
+	for i := 0; i < r.Nodes; i++ {
+		b.AddEdge(int32(i), int32((i+1)%r.Nodes))
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------- Complete
+
+// Complete is the complete graph K_n.
+type Complete struct{ Nodes int }
+
+func (c Complete) Name() string { return fmt.Sprintf("K%d", c.Nodes) }
+func (c Complete) N() int       { return c.Nodes }
+func (c Complete) Degree() int  { return c.Nodes - 1 }
+func (c Complete) Diameter() int {
+	if c.Nodes <= 1 {
+		return 0
+	}
+	return 1
+}
+func (c Complete) Build() (*graph.Graph, error) {
+	b := graph.NewBuilder(c.Nodes, false)
+	for i := 0; i < c.Nodes; i++ {
+		for j := i + 1; j < c.Nodes; j++ {
+			b.AddEdge(int32(i), int32(j))
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------- Hypercube
+
+// Hypercube is the binary n-cube Q_n.
+type Hypercube struct{ Dim int }
+
+func (h Hypercube) Name() string  { return fmt.Sprintf("Q%d", h.Dim) }
+func (h Hypercube) N() int        { return 1 << h.Dim }
+func (h Hypercube) Degree() int   { return h.Dim }
+func (h Hypercube) Diameter() int { return h.Dim }
+func (h Hypercube) Build() (*graph.Graph, error) {
+	if h.Dim < 0 || h.Dim > 26 {
+		return nil, fmt.Errorf("networks: hypercube dimension %d out of buildable range", h.Dim)
+	}
+	n := 1 << h.Dim
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < h.Dim; bit++ {
+			v := u ^ (1 << bit)
+			if v > u {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// AvgDistance returns the exact average distance of Q_n over ordered
+// distinct pairs: (n/2) * N/(N-1).
+func (h Hypercube) AvgDistance() float64 {
+	n := float64(h.N())
+	return float64(h.Dim) / 2 * n / (n - 1)
+}
+
+// -------------------------------------------------------- Folded hypercube
+
+// FoldedHypercube is FQ_n: the hypercube plus a complement edge per node.
+type FoldedHypercube struct{ Dim int }
+
+func (h FoldedHypercube) Name() string { return fmt.Sprintf("FQ%d", h.Dim) }
+func (h FoldedHypercube) N() int       { return 1 << h.Dim }
+func (h FoldedHypercube) Degree() int  { return h.Dim + 1 }
+func (h FoldedHypercube) Diameter() int {
+	return (h.Dim + 1) / 2
+}
+func (h FoldedHypercube) Build() (*graph.Graph, error) {
+	if h.Dim < 1 || h.Dim > 26 {
+		return nil, fmt.Errorf("networks: folded hypercube dimension %d out of range", h.Dim)
+	}
+	n := 1 << h.Dim
+	b := graph.NewBuilder(n, false)
+	mask := n - 1
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < h.Dim; bit++ {
+			v := u ^ (1 << bit)
+			if v > u {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		if c := u ^ mask; c > u {
+			b.AddEdge(int32(u), int32(c))
+		}
+	}
+	return b.Build(), nil
+}
+
+// ----------------------------------------------------- Generalized hypercube
+
+// GeneralizedHypercube is the GHC of Bhuyan and Agrawal: nodes are mixed-radix
+// vectors; two nodes are adjacent iff they differ in exactly one coordinate
+// (each coordinate induces a complete graph).
+type GeneralizedHypercube struct{ Radices []int }
+
+func (g GeneralizedHypercube) Name() string {
+	return fmt.Sprintf("GHC%v", g.Radices)
+}
+func (g GeneralizedHypercube) N() int {
+	n := 1
+	for _, r := range g.Radices {
+		n *= r
+	}
+	return n
+}
+func (g GeneralizedHypercube) Degree() int {
+	d := 0
+	for _, r := range g.Radices {
+		d += r - 1
+	}
+	return d
+}
+func (g GeneralizedHypercube) Diameter() int { return len(g.Radices) }
+func (g GeneralizedHypercube) Build() (*graph.Graph, error) {
+	n := g.N()
+	if n < 1 || n > 1<<22 {
+		return nil, fmt.Errorf("networks: GHC size %d out of buildable range", n)
+	}
+	for _, r := range g.Radices {
+		if r < 2 {
+			return nil, fmt.Errorf("networks: GHC radix must be >= 2")
+		}
+	}
+	b := graph.NewBuilder(n, false)
+	strides := make([]int, len(g.Radices))
+	s := 1
+	for i := range g.Radices {
+		strides[i] = s
+		s *= g.Radices[i]
+	}
+	for u := 0; u < n; u++ {
+		for i, r := range g.Radices {
+			digit := (u / strides[i]) % r
+			for other := 0; other < r; other++ {
+				if other == digit {
+					continue
+				}
+				v := u + (other-digit)*strides[i]
+				if v > u {
+					b.AddEdge(int32(u), int32(v))
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// ------------------------------------------------------------ k-ary n-cube
+
+// KAryNCube is the k-ary n-cube (torus): n coordinates modulo k, with +-1
+// wraparound edges per coordinate.
+type KAryNCube struct{ K, Dims int }
+
+func (t KAryNCube) Name() string { return fmt.Sprintf("%d-ary %d-cube", t.K, t.Dims) }
+func (t KAryNCube) N() int {
+	n := 1
+	for i := 0; i < t.Dims; i++ {
+		n *= t.K
+	}
+	return n
+}
+func (t KAryNCube) Degree() int {
+	if t.K == 2 {
+		return t.Dims
+	}
+	return 2 * t.Dims
+}
+func (t KAryNCube) Diameter() int { return t.Dims * (t.K / 2) }
+func (t KAryNCube) Build() (*graph.Graph, error) {
+	n := t.N()
+	if t.K < 2 || t.Dims < 1 || n > 1<<22 {
+		return nil, fmt.Errorf("networks: k-ary n-cube parameters out of range")
+	}
+	b := graph.NewBuilder(n, false)
+	stride := 1
+	for d := 0; d < t.Dims; d++ {
+		for u := 0; u < n; u++ {
+			digit := (u / stride) % t.K
+			up := u + ((digit+1)%t.K-digit)*stride
+			b.AddEdge(int32(u), int32(up))
+		}
+		stride *= t.K
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------- 2D torus
+
+// Torus2D is the R x C wraparound grid.
+type Torus2D struct{ Rows, Cols int }
+
+func (t Torus2D) Name() string { return fmt.Sprintf("torus(%dx%d)", t.Rows, t.Cols) }
+func (t Torus2D) N() int       { return t.Rows * t.Cols }
+func (t Torus2D) Degree() int {
+	d := 0
+	for _, s := range []int{t.Rows, t.Cols} {
+		switch {
+		case s >= 3:
+			d += 2
+		case s == 2:
+			d++
+		}
+	}
+	return d
+}
+func (t Torus2D) Diameter() int { return t.Rows/2 + t.Cols/2 }
+func (t Torus2D) Build() (*graph.Graph, error) {
+	if t.Rows < 1 || t.Cols < 1 || t.N() > 1<<22 {
+		return nil, fmt.Errorf("networks: torus dimensions out of range")
+	}
+	b := graph.NewBuilder(t.N(), false)
+	id := func(r, c int) int32 { return int32(r*t.Cols + c) }
+	for r := 0; r < t.Rows; r++ {
+		for c := 0; c < t.Cols; c++ {
+			if t.Cols > 1 {
+				b.AddEdge(id(r, c), id(r, (c+1)%t.Cols))
+			}
+			if t.Rows > 1 {
+				b.AddEdge(id(r, c), id((r+1)%t.Rows, c))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------- 2D mesh
+
+// Mesh2D is the R x C grid without wraparound.
+type Mesh2D struct{ Rows, Cols int }
+
+func (m Mesh2D) Name() string { return fmt.Sprintf("mesh(%dx%d)", m.Rows, m.Cols) }
+func (m Mesh2D) N() int       { return m.Rows * m.Cols }
+func (m Mesh2D) Degree() int {
+	d := 0
+	if m.Rows > 1 {
+		d += 2
+	}
+	if m.Cols > 1 {
+		d += 2
+	}
+	if m.Rows == 2 {
+		d--
+	}
+	if m.Cols == 2 {
+		d--
+	}
+	return d
+}
+func (m Mesh2D) Diameter() int { return m.Rows - 1 + m.Cols - 1 }
+func (m Mesh2D) Build() (*graph.Graph, error) {
+	if m.Rows < 1 || m.Cols < 1 || m.N() > 1<<22 {
+		return nil, fmt.Errorf("networks: mesh dimensions out of range")
+	}
+	b := graph.NewBuilder(m.N(), false)
+	id := func(r, c int) int32 { return int32(r*m.Cols + c) }
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if c+1 < m.Cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < m.Rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------- Petersen
+
+// Petersen is the Petersen graph: 10 nodes, 3-regular, diameter 2.
+type Petersen struct{}
+
+func (Petersen) Name() string  { return "Petersen" }
+func (Petersen) N() int        { return 10 }
+func (Petersen) Degree() int   { return 3 }
+func (Petersen) Diameter() int { return 2 }
+func (Petersen) Build() (*graph.Graph, error) {
+	b := graph.NewBuilder(10, false)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(int32(i), int32((i+1)%5))     // outer cycle
+		b.AddEdge(int32(i+5), int32((i+2)%5+5)) // inner pentagram
+		b.AddEdge(int32(i), int32(i+5))         // spokes
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------- Star graph
+
+// Star is the n-star graph: nodes are permutations of n symbols, edges swap
+// the first symbol with the i-th.
+type Star struct{ Symbols int }
+
+func (s Star) Name() string { return fmt.Sprintf("star(%d)", s.Symbols) }
+func (s Star) N() int {
+	n := 1
+	for i := 2; i <= s.Symbols; i++ {
+		n *= i
+	}
+	return n
+}
+func (s Star) Degree() int   { return s.Symbols - 1 }
+func (s Star) Diameter() int { return 3 * (s.Symbols - 1) / 2 }
+func (s Star) Build() (*graph.Graph, error) {
+	if s.Symbols < 2 || s.Symbols > 9 {
+		return nil, fmt.Errorf("networks: star size %d out of buildable range", s.Symbols)
+	}
+	n := s.Symbols
+	perms := allPermutations(n)
+	index := make(map[string]int32, len(perms))
+	for i, p := range perms {
+		index[string(p)] = int32(i)
+	}
+	b := graph.NewBuilder(len(perms), false)
+	for i, p := range perms {
+		for j := 1; j < n; j++ {
+			q := append([]byte(nil), p...)
+			q[0], q[j] = q[j], q[0]
+			b.AddEdge(int32(i), index[string(q)])
+		}
+	}
+	return b.Build(), nil
+}
+
+// allPermutations enumerates the permutations of 0..n-1 in a deterministic
+// order.
+func allPermutations(n int) [][]byte {
+	var out [][]byte
+	cur := make([]byte, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			out = append(out, append([]byte(nil), cur...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !used[v] {
+				used[v] = true
+				cur = append(cur, byte(v))
+				rec()
+				cur = cur[:len(cur)-1]
+				used[v] = false
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+// ---------------------------------------------------------------- de Bruijn
+
+// DeBruijn is the base-b, dimension-n de Bruijn graph, realized as an
+// undirected graph (the usual interconnection-network view): node u is
+// adjacent to its shift successors and predecessors. Degree <= 2b (less at
+// nodes whose shifts collide, e.g. 00..0).
+type DeBruijn struct{ Base, Dim int }
+
+func (d DeBruijn) Name() string { return fmt.Sprintf("deBruijn(%d,%d)", d.Base, d.Dim) }
+func (d DeBruijn) N() int {
+	n := 1
+	for i := 0; i < d.Dim; i++ {
+		n *= d.Base
+	}
+	return n
+}
+func (d DeBruijn) Degree() int   { return 2 * d.Base }
+func (d DeBruijn) Diameter() int { return d.Dim }
+func (d DeBruijn) Build() (*graph.Graph, error) {
+	n := d.N()
+	if d.Base < 2 || d.Dim < 1 || n > 1<<22 {
+		return nil, fmt.Errorf("networks: de Bruijn parameters out of range")
+	}
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		base := (u * d.Base) % n
+		for c := 0; c < d.Base; c++ {
+			b.AddEdge(int32(u), int32(base+c))
+		}
+	}
+	return b.Build(), nil
+}
+
+// BuildDirected returns the directed de Bruijn graph (out-degree Base).
+func (d DeBruijn) BuildDirected() (*graph.Graph, error) {
+	n := d.N()
+	if d.Base < 2 || d.Dim < 1 || n > 1<<22 {
+		return nil, fmt.Errorf("networks: de Bruijn parameters out of range")
+	}
+	b := graph.NewBuilder(n, true)
+	for u := 0; u < n; u++ {
+		base := (u * d.Base) % n
+		for c := 0; c < d.Base; c++ {
+			b.AddArc(int32(u), int32(base+c))
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------- Shuffle-exchange
+
+// ShuffleExchange is the n-dimensional (binary) shuffle-exchange network:
+// nodes are n-bit strings; the exchange edge flips the low bit and the
+// shuffle edges rotate the string.
+type ShuffleExchange struct{ Dim int }
+
+func (s ShuffleExchange) Name() string  { return fmt.Sprintf("SE(%d)", s.Dim) }
+func (s ShuffleExchange) N() int        { return 1 << s.Dim }
+func (s ShuffleExchange) Degree() int   { return 3 }
+func (s ShuffleExchange) Diameter() int { return 2*s.Dim - 1 }
+func (s ShuffleExchange) Build() (*graph.Graph, error) {
+	if s.Dim < 2 || s.Dim > 22 {
+		return nil, fmt.Errorf("networks: shuffle-exchange dimension out of range")
+	}
+	n := 1 << s.Dim
+	mask := n - 1
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		b.AddEdge(int32(u), int32(u^1))                    // exchange
+		shuffled := ((u << 1) | (u >> (s.Dim - 1))) & mask // rotate left
+		b.AddEdge(int32(u), int32(shuffled))               // shuffle
+	}
+	return b.Build(), nil
+}
+
+// ------------------------------------------------------- Cube-connected cycles
+
+// CCC is the cube-connected cycles network CCC(n): each hypercube node is
+// replaced by an n-cycle; cycle position i carries the dimension-i cube edge.
+type CCC struct{ Dim int }
+
+func (c CCC) Name() string { return fmt.Sprintf("CCC(%d)", c.Dim) }
+func (c CCC) N() int       { return c.Dim * (1 << c.Dim) }
+func (c CCC) Degree() int {
+	// For n <= 2 the n-cycle degenerates (no cycle edge at n = 1, a single
+	// cycle edge at n = 2), so nodes have fewer than 3 neighbors.
+	if c.Dim <= 2 {
+		return c.Dim
+	}
+	return 3
+}
+
+// Diameter returns the exact CCC diameter: 2n + floor(n/2) - 2 for n >= 4,
+// with the small cases taken from exhaustive BFS (validated in tests).
+func (c CCC) Diameter() int {
+	switch c.Dim {
+	case 1:
+		return 1
+	case 2:
+		return 4
+	case 3:
+		return 6
+	default:
+		return 2*c.Dim + c.Dim/2 - 2
+	}
+}
+
+func (c CCC) Build() (*graph.Graph, error) {
+	if c.Dim < 1 || c.N() > 1<<22 {
+		return nil, fmt.Errorf("networks: CCC dimension out of range")
+	}
+	n := c.Dim
+	b := graph.NewBuilder(c.N(), false)
+	id := func(w, i int) int32 { return int32(w*n + i) }
+	for w := 0; w < 1<<n; w++ {
+		for i := 0; i < n; i++ {
+			if n > 1 {
+				b.AddEdge(id(w, i), id(w, (i+1)%n))
+			}
+			b.AddEdge(id(w, i), id(w^(1<<i), i))
+		}
+	}
+	return b.Build(), nil
+}
+
+// ----------------------------------------------------- Rotation-exchange
+
+// RotationExchange is the rotation-exchange network of Yeh and Varvarigos
+// (cited in the paper): a trivalent variant of the star graph — the Cayley
+// graph of the symmetric group with generators {rotate left, rotate right,
+// exchange the first two symbols}. Degree 3, n! nodes; its diameter has no
+// simple closed form, so Diameter returns the BFS-measured value for small
+// n and -1 beyond.
+type RotationExchange struct{ Symbols int }
+
+func (r RotationExchange) Name() string { return fmt.Sprintf("REN(%d)", r.Symbols) }
+func (r RotationExchange) N() int {
+	n := 1
+	for i := 2; i <= r.Symbols; i++ {
+		n *= i
+	}
+	return n
+}
+
+// Degree returns 3 for n >= 3 (rotate-left, rotate-right, exchange).
+func (r RotationExchange) Degree() int {
+	if r.Symbols <= 2 {
+		return 1
+	}
+	if r.Symbols == 3 {
+		return 3 // rotations coincide pairwise only for n <= 2
+	}
+	return 3
+}
+
+// Diameter returns -1: measure via BFS (no closed form implemented).
+func (r RotationExchange) Diameter() int { return -1 }
+
+func (r RotationExchange) Build() (*graph.Graph, error) {
+	if r.Symbols < 2 || r.Symbols > 9 {
+		return nil, fmt.Errorf("networks: rotation-exchange size %d out of buildable range", r.Symbols)
+	}
+	n := r.Symbols
+	perms := allPermutations(n)
+	index := make(map[string]int32, len(perms))
+	for i, p := range perms {
+		index[string(p)] = int32(i)
+	}
+	b := graph.NewBuilder(len(perms), false)
+	rotate := func(p []byte, dir int) []byte {
+		q := make([]byte, n)
+		for i := range q {
+			q[i] = p[((i+dir)%n+n)%n]
+		}
+		return q
+	}
+	for i, p := range perms {
+		b.AddEdge(int32(i), index[string(rotate(p, 1))])
+		b.AddEdge(int32(i), index[string(rotate(p, -1))])
+		q := append([]byte(nil), p...)
+		q[0], q[1] = q[1], q[0]
+		b.AddEdge(int32(i), index[string(q)])
+	}
+	return b.Build(), nil
+}
+
+// -------------------------------------------------- Star-connected cycles
+
+// StarConnectedCycles is the SCC network of Latifi, Azevedo and Bagherzadeh
+// (the paper's reference [20]): a fixed-degree star-graph variant in which
+// every star node becomes an (n-1)-cycle and cycle position i carries the
+// star edge (1,i+1). Nodes are (permutation, position) pairs; degree 3.
+type StarConnectedCycles struct{ Symbols int }
+
+func (s StarConnectedCycles) Name() string {
+	return fmt.Sprintf("SCC(%d)", s.Symbols)
+}
+
+// N returns (n-1) * n!.
+func (s StarConnectedCycles) N() int {
+	f := 1
+	for i := 2; i <= s.Symbols; i++ {
+		f *= i
+	}
+	return (s.Symbols - 1) * f
+}
+
+// Degree returns 3 for n >= 4 (two cycle edges plus the star edge).
+func (s StarConnectedCycles) Degree() int {
+	if s.Symbols <= 3 {
+		return 2
+	}
+	return 3
+}
+
+// Diameter has no simple closed form; measure via BFS.
+func (s StarConnectedCycles) Diameter() int { return -1 }
+
+func (s StarConnectedCycles) Build() (*graph.Graph, error) {
+	n := s.Symbols
+	if n < 3 || n > 7 {
+		return nil, fmt.Errorf("networks: SCC size %d out of buildable range", n)
+	}
+	perms := allPermutations(n)
+	index := make(map[string]int32, len(perms))
+	for i, p := range perms {
+		index[string(p)] = int32(i)
+	}
+	c := n - 1 // cycle length
+	id := func(p int32, pos int) int32 { return p*int32(c) + int32(pos) }
+	b := graph.NewBuilder(len(perms)*c, false)
+	for pi, p := range perms {
+		for pos := 0; pos < c; pos++ {
+			if c > 1 {
+				b.AddEdge(id(int32(pi), pos), id(int32(pi), (pos+1)%c))
+			}
+			// Star edge (1, pos+2): swap symbol 0 with symbol pos+1.
+			q := append([]byte(nil), p...)
+			q[0], q[pos+1] = q[pos+1], q[0]
+			b.AddEdge(id(int32(pi), pos), id(index[string(q)], pos))
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------------- Pancake
+
+// Pancake is the n-pancake graph: permutations of n symbols with prefix
+// reversals of length 2..n as edges. Degree n-1; its diameter has no closed
+// form — known exact values (sequence A058986) are tabled up to n = 13.
+type Pancake struct{ Symbols int }
+
+func (p Pancake) Name() string { return fmt.Sprintf("pancake(%d)", p.Symbols) }
+func (p Pancake) N() int {
+	n := 1
+	for i := 2; i <= p.Symbols; i++ {
+		n *= i
+	}
+	return n
+}
+func (p Pancake) Degree() int { return p.Symbols - 1 }
+
+// Diameter returns the known exact pancake diameter for n <= 13, -1 beyond.
+func (p Pancake) Diameter() int {
+	known := []int{0, 0, 1, 3, 4, 5, 7, 8, 9, 10, 11, 13, 14, 15}
+	if p.Symbols < len(known) {
+		return known[p.Symbols]
+	}
+	return -1
+}
+
+func (p Pancake) Build() (*graph.Graph, error) {
+	n := p.Symbols
+	if n < 2 || n > 8 {
+		return nil, fmt.Errorf("networks: pancake size %d out of buildable range", n)
+	}
+	perms := allPermutations(n)
+	index := make(map[string]int32, len(perms))
+	for i, q := range perms {
+		index[string(q)] = int32(i)
+	}
+	b := graph.NewBuilder(len(perms), false)
+	for i, q := range perms {
+		for k := 2; k <= n; k++ {
+			r := append([]byte(nil), q...)
+			for a, z := 0, k-1; a < z; a, z = a+1, z-1 {
+				r[a], r[z] = r[z], r[a]
+			}
+			b.AddEdge(int32(i), index[string(r)])
+		}
+	}
+	return b.Build(), nil
+}
+
+// ---------------------------------------------------------- Wrapped butterfly
+
+// WrappedButterfly is the n-dimensional wrapped butterfly: nodes (w, i) with
+// w an n-bit string and level i mod n; node (w,i) connects to (w, i+1) and
+// (w XOR 2^i, i+1) with the last level wrapping to the first. Degree 4.
+type WrappedButterfly struct{ Dim int }
+
+func (w WrappedButterfly) Name() string { return fmt.Sprintf("BF(%d)", w.Dim) }
+func (w WrappedButterfly) N() int       { return w.Dim * (1 << w.Dim) }
+func (w WrappedButterfly) Degree() int {
+	if w.Dim == 1 {
+		return 1
+	}
+	if w.Dim == 2 {
+		// Straight and cross edges between the two levels partially
+		// coincide after dedup.
+		return 4
+	}
+	return 4
+}
+
+// Diameter returns the known closed form n + floor(n/2) for n >= 3; small
+// cases are measured in tests.
+func (w WrappedButterfly) Diameter() int {
+	switch w.Dim {
+	case 1:
+		return 1
+	case 2:
+		return 2
+	default:
+		return w.Dim + w.Dim/2
+	}
+}
+
+func (w WrappedButterfly) Build() (*graph.Graph, error) {
+	n := w.Dim
+	if n < 1 || w.N() > 1<<22 {
+		return nil, fmt.Errorf("networks: butterfly dimension %d out of range", n)
+	}
+	id := func(word, lvl int) int32 { return int32(word*n + lvl) }
+	b := graph.NewBuilder(w.N(), false)
+	for word := 0; word < 1<<n; word++ {
+		for lvl := 0; lvl < n; lvl++ {
+			next := (lvl + 1) % n
+			b.AddEdge(id(word, lvl), id(word, next))          // straight
+			b.AddEdge(id(word, lvl), id(word^(1<<lvl), next)) // cross
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,278 @@
+package networks
+
+import (
+	"testing"
+)
+
+// checkSpec builds the network and verifies every analytic statistic
+// against the realized graph (BFS diameter, max degree, node count).
+func checkSpec(t *testing.T, s Spec) {
+	t.Helper()
+	g, err := s.Build()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	if g.N() != s.N() {
+		t.Fatalf("%s: built %d nodes, analytic %d", s.Name(), g.N(), s.N())
+	}
+	if g.MaxDegree() != s.Degree() {
+		t.Fatalf("%s: built degree %d, analytic %d", s.Name(), g.MaxDegree(), s.Degree())
+	}
+	st := g.AllPairs()
+	if !st.Connected {
+		t.Fatalf("%s: not connected", s.Name())
+	}
+	if int(st.Diameter) != s.Diameter() {
+		t.Fatalf("%s: built diameter %d, analytic %d", s.Name(), st.Diameter, s.Diameter())
+	}
+}
+
+func TestRing(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 17, 64} {
+		checkSpec(t, Ring{Nodes: n})
+	}
+}
+
+func TestComplete(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 16} {
+		checkSpec(t, Complete{Nodes: n})
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for d := 1; d <= 12; d++ {
+		checkSpec(t, Hypercube{Dim: d})
+	}
+	h := Hypercube{Dim: 4}
+	g, _ := h.Build()
+	st := g.AllPairs()
+	if diff := st.AvgDistance - h.AvgDistance(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Q4 avg distance %v, analytic %v", st.AvgDistance, h.AvgDistance())
+	}
+}
+
+func TestFoldedHypercube(t *testing.T) {
+	for d := 2; d <= 12; d++ {
+		checkSpec(t, FoldedHypercube{Dim: d})
+	}
+	// FQ4 is the Fig 2 baseline: degree 5, diameter 2, 16 nodes.
+	fq := FoldedHypercube{Dim: 4}
+	if fq.Degree() != 5 || fq.Diameter() != 2 || fq.N() != 16 {
+		t.Fatalf("FQ4 analytic stats wrong: %d %d %d", fq.Degree(), fq.Diameter(), fq.N())
+	}
+}
+
+func TestGeneralizedHypercube(t *testing.T) {
+	for _, radices := range [][]int{{2, 2, 2}, {3, 3}, {4, 4, 4}, {2, 3, 4}, {5, 6}} {
+		checkSpec(t, GeneralizedHypercube{Radices: radices})
+	}
+	if _, err := (GeneralizedHypercube{Radices: []int{1, 2}}).Build(); err == nil {
+		t.Fatal("radix 1 must fail")
+	}
+}
+
+func TestKAryNCube(t *testing.T) {
+	for _, c := range []KAryNCube{
+		{K: 2, Dims: 3}, {K: 3, Dims: 2}, {K: 4, Dims: 3}, {K: 5, Dims: 2},
+		{K: 8, Dims: 2}, {K: 3, Dims: 4}, {K: 16, Dims: 1},
+	} {
+		checkSpec(t, c)
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	for _, c := range []Torus2D{
+		{4, 4}, {3, 5}, {2, 6}, {8, 8}, {5, 5}, {2, 2},
+	} {
+		checkSpec(t, c)
+	}
+	// A 2D torus is the k-ary 2-cube when square.
+	sq := Torus2D{6, 6}
+	k := KAryNCube{K: 6, Dims: 2}
+	if sq.N() != k.N() || sq.Degree() != k.Degree() || sq.Diameter() != k.Diameter() {
+		t.Fatal("square torus disagrees with 6-ary 2-cube")
+	}
+}
+
+func TestMesh2D(t *testing.T) {
+	for _, c := range []Mesh2D{{4, 4}, {1, 7}, {2, 5}, {3, 9}} {
+		checkSpec(t, c)
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	checkSpec(t, Petersen{})
+	g, _ := Petersen{}.Build()
+	if ok, _ := g.UniformDistanceProfiles(); !ok {
+		t.Fatal("Petersen is vertex-transitive; profiles must be uniform")
+	}
+}
+
+func TestStar(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		checkSpec(t, Star{Symbols: n})
+	}
+}
+
+func TestDeBruijn(t *testing.T) {
+	for _, c := range []DeBruijn{{2, 2}, {2, 3}, {2, 6}, {3, 3}, {4, 2}} {
+		g, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != c.N() {
+			t.Fatalf("%s: %d nodes", c.Name(), g.N())
+		}
+		// Degree <= 2b with equality somewhere (except degenerate sizes).
+		if g.MaxDegree() > c.Degree() {
+			t.Fatalf("%s: degree %d exceeds bound %d", c.Name(), g.MaxDegree(), c.Degree())
+		}
+		st := g.AllPairs()
+		// Undirected diameter <= directed diameter = Dim.
+		if int(st.Diameter) > c.Diameter() {
+			t.Fatalf("%s: diameter %d > %d", c.Name(), st.Diameter, c.Diameter())
+		}
+		// Directed variant: out-degree Base, diameter exactly Dim.
+		dg, err := c.BuildDirected()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := dg.AllPairs()
+		if int(dst.Diameter) != c.Diameter() {
+			t.Fatalf("%s directed diameter %d, want %d", c.Name(), dst.Diameter, c.Diameter())
+		}
+	}
+}
+
+func TestShuffleExchange(t *testing.T) {
+	for d := 2; d <= 10; d++ {
+		s := ShuffleExchange{Dim: d}
+		g, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != s.N() {
+			t.Fatalf("SE(%d): %d nodes", d, g.N())
+		}
+		if g.MaxDegree() > 3 {
+			t.Fatalf("SE(%d): degree %d", d, g.MaxDegree())
+		}
+		st := g.AllPairs()
+		if int(st.Diameter) != s.Diameter() {
+			t.Fatalf("SE(%d): diameter %d, want %d", d, st.Diameter, s.Diameter())
+		}
+	}
+}
+
+func TestCCC(t *testing.T) {
+	for d := 1; d <= 9; d++ {
+		c := CCC{Dim: d}
+		g, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != c.N() {
+			t.Fatalf("CCC(%d): %d nodes, want %d", d, g.N(), c.N())
+		}
+		if g.MaxDegree() != c.Degree() {
+			t.Fatalf("CCC(%d): degree %d, want %d", d, g.MaxDegree(), c.Degree())
+		}
+		st := g.AllPairs()
+		if int(st.Diameter) != c.Diameter() {
+			t.Fatalf("CCC(%d): diameter %d, analytic %d", d, st.Diameter, c.Diameter())
+		}
+	}
+}
+
+func TestBuildRangeErrors(t *testing.T) {
+	cases := []Spec{
+		Hypercube{Dim: 30},
+		Star{Symbols: 12},
+		KAryNCube{K: 1, Dims: 2},
+		DeBruijn{Base: 1, Dim: 3},
+		ShuffleExchange{Dim: 1},
+		Ring{Nodes: 0},
+	}
+	for _, c := range cases {
+		if _, err := c.Build(); err == nil {
+			t.Fatalf("%s: expected build error", c.Name())
+		}
+	}
+}
+
+func TestRotationExchange(t *testing.T) {
+	for n := 3; n <= 6; n++ {
+		r := RotationExchange{Symbols: n}
+		g, err := r.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != r.N() {
+			t.Fatalf("REN(%d): %d nodes, want %d", n, g.N(), r.N())
+		}
+		if g.MaxDegree() > 3 {
+			t.Fatalf("REN(%d): degree %d > 3", n, g.MaxDegree())
+		}
+		st := g.AllPairs()
+		if !st.Connected {
+			t.Fatalf("REN(%d) disconnected", n)
+		}
+		// A trivalent network: diameter at least n-1; sanity only.
+		if st.Diameter < int32(n-1) {
+			t.Fatalf("REN(%d) diameter %d suspiciously small", n, st.Diameter)
+		}
+	}
+	if _, err := (RotationExchange{Symbols: 12}).Build(); err == nil {
+		t.Fatal("oversized REN must fail")
+	}
+}
+
+func TestStarConnectedCycles(t *testing.T) {
+	for n := 4; n <= 5; n++ {
+		s := StarConnectedCycles{Symbols: n}
+		g, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != s.N() {
+			t.Fatalf("SCC(%d): %d nodes, want %d", n, g.N(), s.N())
+		}
+		if !g.IsRegular() || g.MaxDegree() != 3 {
+			t.Fatalf("SCC(%d): degrees %v, want 3-regular", n, g.DegreeHistogram())
+		}
+		if !g.AllPairs().Connected {
+			t.Fatalf("SCC(%d) disconnected", n)
+		}
+	}
+	if _, err := (StarConnectedCycles{Symbols: 9}).Build(); err == nil {
+		t.Fatal("oversized SCC must fail")
+	}
+}
+
+func TestPancake(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		checkSpec(t, Pancake{Symbols: n})
+	}
+	if (Pancake{Symbols: 20}).Diameter() != -1 {
+		t.Fatal("unknown diameters must report -1")
+	}
+	if _, err := (Pancake{Symbols: 11}).Build(); err == nil {
+		t.Fatal("oversized pancake must fail")
+	}
+}
+
+func TestWrappedButterfly(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		checkSpec(t, WrappedButterfly{Dim: n})
+	}
+	// Small degenerate cases: verify size and connectivity only.
+	for n := 1; n <= 2; n++ {
+		g, err := WrappedButterfly{Dim: n}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != n*(1<<n) || !g.AllPairs().Connected {
+			t.Fatalf("BF(%d) degenerate case wrong", n)
+		}
+	}
+}

@@ -1,0 +1,529 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPerm returns a uniformly random permutation on k positions.
+func randomPerm(r *rand.Rand, k int) Perm {
+	p := Identity(k)
+	r.Shuffle(k, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(5)
+	if !id.IsIdentity() {
+		t.Fatal("Identity(5) is not the identity")
+	}
+	if err := id.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	label := []byte{10, 20, 30, 40, 50}
+	got := id.Permuted(label)
+	for i := range label {
+		if got[i] != label[i] {
+			t.Fatalf("identity moved symbol at %d", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		p  Perm
+		ok bool
+	}{
+		{Perm{0, 1, 2}, true},
+		{Perm{2, 1, 0}, true},
+		{Perm{0, 0, 1}, false},
+		{Perm{0, 1, 3}, false},
+		{Perm{-1, 1, 0}, false},
+		{Perm{}, true},
+	}
+	for i, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestPaperStarGeneratorExample(t *testing.T) {
+	// From the paper: X = 612345 with generator pi1 = (1,2) yields 162345,
+	// pi2 = (1,3) yields 216345, pi3 = (1,4) yields 312645,
+	// pi4 = (1,5) yields 412365, pi5 = (1,6) yields 512346.
+	x := []byte{6, 1, 2, 3, 4, 5}
+	want := [][]byte{
+		{1, 6, 2, 3, 4, 5},
+		{2, 1, 6, 3, 4, 5},
+		{3, 1, 2, 6, 4, 5},
+		{4, 1, 2, 3, 6, 5},
+		{5, 1, 2, 3, 4, 6},
+	}
+	for i := 2; i <= 6; i++ {
+		g := Transposition(6, 0, i-1)
+		got := g.Permuted(x)
+		w := want[i-2]
+		for j := range w {
+			if got[j] != w[j] {
+				t.Fatalf("(1,%d) applied to 612345 = %v, want %v", i, got, w)
+			}
+		}
+	}
+}
+
+func TestPaperSwapSuperGeneratorExample(t *testing.T) {
+	// From the paper: the super-generator T(2,2n) maps a label to its second
+	// half followed by its first half. With n=2 (so 2n=4, label length 8):
+	// T(2,4) applied to "abcdefgh" gives "efghabcd".
+	tt := BlockTransposition(2, 4, 0, 1)
+	x := []byte{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'}
+	got := string(tt.Permuted(x))
+	if got != "efghabcd" {
+		t.Fatalf("T(2,4) = %q, want %q", got, "efghabcd")
+	}
+}
+
+func TestPaperCyclicShiftExample(t *testing.T) {
+	// L(i,m) changes X1 X2 ... Xl into X(i+1) ... Xl X1 ... Xi.
+	// R(i,m) changes X into X(l-i+1) ... Xl X1 ... X(l-i).
+	l, m := 4, 2
+	x := []byte{1, 1, 2, 2, 3, 3, 4, 4}
+	left := BlockLeftShift(l, m, 1)
+	if got := left.Permuted(x); string(got) != string([]byte{2, 2, 3, 3, 4, 4, 1, 1}) {
+		t.Fatalf("L(1,2) = %v", got)
+	}
+	right := BlockRightShift(l, m, 1)
+	if got := right.Permuted(x); string(got) != string([]byte{4, 4, 1, 1, 2, 2, 3, 3}) {
+		t.Fatalf("R(1,2) = %v", got)
+	}
+	if !Compose(left, right).IsIdentity() {
+		t.Fatal("L then R is not the identity")
+	}
+}
+
+func TestPaperFlipExample(t *testing.T) {
+	// F(2,m)(X1 X2 X3 X4) = X2 X1 X3 X4; F(3,m)(X1 X2 X3 X4) = X3 X2 X1 X4.
+	l, m := 4, 2
+	x := []byte{1, 1, 2, 2, 3, 3, 4, 4}
+	f2 := BlockFlip(l, m, 2)
+	if got := f2.Permuted(x); string(got) != string([]byte{2, 2, 1, 1, 3, 3, 4, 4}) {
+		t.Fatalf("F(2) = %v", got)
+	}
+	f3 := BlockFlip(l, m, 3)
+	if got := f3.Permuted(x); string(got) != string([]byte{3, 3, 2, 2, 1, 1, 4, 4}) {
+		t.Fatalf("F(3) = %v", got)
+	}
+	if !Compose(f3, f3).IsIdentity() {
+		t.Fatal("flips must be involutions")
+	}
+}
+
+func TestComposeOrder(t *testing.T) {
+	// Applying p then q must equal Compose(p, q) applied once.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + r.Intn(12)
+		p, q := randomPerm(r, k), randomPerm(r, k)
+		x := make([]byte, k)
+		for i := range x {
+			x[i] = byte(r.Intn(256))
+		}
+		step := q.Permuted(p.Permuted(x))
+		direct := Compose(p, q).Permuted(x)
+		for i := range step {
+			if step[i] != direct[i] {
+				t.Fatalf("trial %d: compose mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(16)
+		p := randomPerm(r, k)
+		return Compose(p, p.Inverse()).IsIdentity() && Compose(p.Inverse(), p).IsIdentity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerMatchesRepeatedCompose(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(10)
+		p := randomPerm(r, k)
+		n := int(nRaw % 20)
+		want := Identity(k)
+		for i := 0; i < n; i++ {
+			want = Compose(want, p)
+		}
+		return p.Power(n).Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativePower(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := randomPerm(r, 9)
+	if !Compose(p.Power(3), p.Power(-3)).IsIdentity() {
+		t.Fatal("p^3 * p^-3 != identity")
+	}
+	if !p.Power(-1).Equal(p.Inverse()) {
+		t.Fatal("p^-1 != inverse")
+	}
+}
+
+func TestOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(10)
+		p := randomPerm(r, k)
+		n := p.Order()
+		if n < 1 {
+			return false
+		}
+		if !p.Power(n).IsIdentity() {
+			return false
+		}
+		// No smaller positive power may be the identity.
+		for d := 1; d < n; d++ {
+			if n%d == 0 && p.Power(d).IsIdentity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSign(t *testing.T) {
+	if Transposition(5, 0, 3).Sign() != -1 {
+		t.Fatal("transposition must be odd")
+	}
+	if Identity(5).Sign() != 1 {
+		t.Fatal("identity must be even")
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + r.Intn(10)
+		p, q := randomPerm(r, k), randomPerm(r, k)
+		if Compose(p, q).Sign() != p.Sign()*q.Sign() {
+			t.Fatal("sign is not multiplicative")
+		}
+	}
+}
+
+func TestCyclesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(12)
+		p := randomPerm(r, k)
+		q, err := FromCycles(k, p.Cycles()...)
+		if err != nil {
+			return false
+		}
+		return q.Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCycles(t *testing.T) {
+	p, err := ParseCycles("(1 2)", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Transposition(6, 0, 1)) {
+		t.Fatalf("parse (1 2) = %v", p.OneLine())
+	}
+	p, err = ParseCycles("(1 3)(2 4)", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Compose(Transposition(4, 0, 2), Transposition(4, 1, 3))
+	if !p.Equal(want) {
+		t.Fatalf("parse (1 3)(2 4) = %v, want %v", p.OneLine(), want.OneLine())
+	}
+	if _, err := ParseCycles("(0 1)", 4); err == nil {
+		t.Fatal("expected range error for 0 in 1-based notation")
+	}
+	if _, err := ParseCycles("(1 5)", 4); err == nil {
+		t.Fatal("expected range error for 5 on 4 positions")
+	}
+	if _, err := ParseCycles("(1 2", 4); err == nil {
+		t.Fatal("expected unterminated-cycle error")
+	}
+	id, err := ParseCycles("()", 3)
+	if err != nil || !id.IsIdentity() {
+		t.Fatalf("parse () = %v, %v", id, err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + r.Intn(12)
+		p := randomPerm(r, k)
+		q, err := ParseCycles(p.String(), k)
+		if err != nil {
+			t.Fatalf("parse %q: %v", p.String(), err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip of %q gave %v, want %v", p.String(), q.OneLine(), p.OneLine())
+		}
+	}
+}
+
+func TestThreeCycleConvention(t *testing.T) {
+	// In cycle (a b c), the symbol at a goes to b, b to c, c to a.
+	p, err := ParseCycles("(1 2 3)", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Permuted([]byte{'a', 'b', 'c'})
+	if string(got) != "cab" {
+		t.Fatalf("(1 2 3) applied to abc = %q, want cab", got)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	p := Rotation(6, 2)
+	got := p.Permuted([]byte{'a', 'b', 'c', 'd', 'e', 'f'})
+	if string(got) != "cdefab" {
+		t.Fatalf("Rotation(6,2) = %q", got)
+	}
+	if !Rotation(6, 0).IsIdentity() || !Rotation(6, 6).IsIdentity() {
+		t.Fatal("rotation by 0 or k must be identity")
+	}
+	if !Compose(Rotation(5, 2), Rotation(5, 3)).IsIdentity() {
+		t.Fatal("rotations by 2 and 3 on 5 positions must cancel")
+	}
+}
+
+func TestLift(t *testing.T) {
+	p := Transposition(3, 0, 2)
+	q := Lift(p, 7)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := []byte{1, 2, 3, 4, 5, 6, 7}
+	got := q.Permuted(x)
+	want := []byte{3, 2, 1, 4, 5, 6, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lift mismatch: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestBlockTranspositionInvolution(t *testing.T) {
+	for l := 2; l <= 5; l++ {
+		for m := 1; m <= 4; m++ {
+			for i := 0; i < l; i++ {
+				for j := i + 1; j < l; j++ {
+					p := BlockTransposition(l, m, i, j)
+					if err := p.Validate(); err != nil {
+						t.Fatalf("l=%d m=%d (%d,%d): %v", l, m, i, j, err)
+					}
+					if !Compose(p, p).IsIdentity() {
+						t.Fatalf("l=%d m=%d (%d,%d): not an involution", l, m, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockShiftOrder(t *testing.T) {
+	for l := 2; l <= 6; l++ {
+		p := BlockLeftShift(l, 3, 1)
+		if p.Order() != l {
+			t.Fatalf("BlockLeftShift(%d,3,1) has order %d, want %d", l, p.Order(), l)
+		}
+	}
+}
+
+func TestClosedUnderInverse(t *testing.T) {
+	l, m := 4, 2
+	trans := []Perm{
+		BlockTransposition(l, m, 0, 1),
+		BlockTransposition(l, m, 0, 2),
+		BlockTransposition(l, m, 0, 3),
+	}
+	if !ClosedUnderInverse(trans) {
+		t.Fatal("transpositions are self-inverse; set must be closed")
+	}
+	onlyLeft := []Perm{BlockLeftShift(l, m, 1)}
+	if ClosedUnderInverse(onlyLeft) {
+		t.Fatal("a lone cyclic shift (l>2) is not inverse-closed")
+	}
+	ring := []Perm{BlockLeftShift(l, m, 1), BlockRightShift(l, m, 1)}
+	if !ClosedUnderInverse(ring) {
+		t.Fatal("{L,R} must be inverse-closed")
+	}
+}
+
+func TestGroupClosureSymmetricGroup(t *testing.T) {
+	// Star-graph generators (1,i) generate the full symmetric group.
+	n := 5
+	var gens []Perm
+	for i := 1; i < n; i++ {
+		gens = append(gens, Transposition(n, 0, i))
+	}
+	group, err := GroupClosure(gens, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1
+	for i := 2; i <= n; i++ {
+		want *= i
+	}
+	if len(group) != want {
+		t.Fatalf("closure size = %d, want %d (= %d!)", len(group), want, n)
+	}
+}
+
+func TestGroupClosureCyclicGroup(t *testing.T) {
+	g := Rotation(6, 1)
+	group, err := GroupClosure([]Perm{g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group) != 6 {
+		t.Fatalf("cyclic closure size = %d, want 6", len(group))
+	}
+}
+
+func TestGroupClosureLimit(t *testing.T) {
+	var gens []Perm
+	for i := 1; i < 7; i++ {
+		gens = append(gens, Transposition(7, 0, i))
+	}
+	if _, err := GroupClosure(gens, 100); err == nil {
+		t.Fatal("expected limit error for S7 with limit 100")
+	}
+}
+
+func TestGroupClosureErrors(t *testing.T) {
+	if _, err := GroupClosure(nil, 0); err == nil {
+		t.Fatal("expected error for empty generator set")
+	}
+	if _, err := GroupClosure([]Perm{Identity(3), Identity(4)}, 0); err == nil {
+		t.Fatal("expected error for mixed sizes")
+	}
+}
+
+func TestApplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Identity(3).Apply(make([]byte, 2), make([]byte, 3))
+}
+
+func BenchmarkApply(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	p := randomPerm(r, 32)
+	src := make([]byte, 32)
+	dst := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(dst, src)
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	p := randomPerm(r, 32)
+	q := randomPerm(r, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compose(p, q)
+	}
+}
+
+func TestParseOneLine(t *testing.T) {
+	p, err := ParseOneLine("[1 0 2]")
+	if err != nil || !p.Equal(Perm{1, 0, 2}) {
+		t.Fatalf("ParseOneLine = %v, %v", p, err)
+	}
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		q := randomPerm(r, 1+r.Intn(10))
+		back, err := ParseOneLine(q.OneLine())
+		if err != nil || !back.Equal(q) {
+			t.Fatalf("round trip of %v failed: %v %v", q, back, err)
+		}
+	}
+	for _, bad := range []string{"", "1 0", "[1 0", "[a b]", "[0 0]", "[2 0]"} {
+		if _, err := ParseOneLine(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestConjugate(t *testing.T) {
+	// Conjugating the swap of block 0's first pair by the block swap yields
+	// the swap of block 1's first pair.
+	p := Transposition(8, 0, 1)         // nucleus move on block 0
+	q := BlockTransposition(2, 4, 0, 1) // swap the two blocks
+	got := Conjugate(p, q)
+	want := Transposition(8, 4, 5)
+	if !got.Equal(want) {
+		t.Fatalf("conjugate = %v, want %v", got.OneLine(), want.OneLine())
+	}
+	// Conjugation preserves cycle type (here: order).
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		a, b := randomPerm(r, 8), randomPerm(r, 8)
+		if Conjugate(a, b).Order() != a.Order() {
+			t.Fatal("conjugation changed the order")
+		}
+	}
+}
+
+func TestIsInvolutionAndSupport(t *testing.T) {
+	if !Transposition(5, 1, 3).IsInvolution() {
+		t.Fatal("transposition must be an involution")
+	}
+	if Rotation(5, 1).IsInvolution() {
+		t.Fatal("5-rotation is not an involution")
+	}
+	s := Transposition(6, 1, 4).Support()
+	if len(s) != 2 || s[0] != 1 || s[1] != 4 {
+		t.Fatalf("support = %v", s)
+	}
+	if len(Identity(4).Support()) != 0 {
+		t.Fatal("identity support must be empty")
+	}
+}
+
+func TestPositionOrbits(t *testing.T) {
+	// The hypercube nucleus generators act within pairs: n orbits of 2.
+	gens := []Perm{Transposition(6, 0, 1), Transposition(6, 2, 3), Transposition(6, 4, 5)}
+	orbits := PositionOrbits(gens)
+	if len(orbits) != 3 {
+		t.Fatalf("orbits = %v", orbits)
+	}
+	// Adding the block rotation merges everything into one orbit.
+	gens = append(gens, BlockLeftShift(3, 2, 1))
+	orbits = PositionOrbits(gens)
+	if len(orbits) != 1 || len(orbits[0]) != 6 {
+		t.Fatalf("orbits with rotation = %v", orbits)
+	}
+	if PositionOrbits(nil) != nil {
+		t.Fatal("no generators -> nil orbits")
+	}
+}

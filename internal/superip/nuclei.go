@@ -1,0 +1,266 @@
+// Package superip packages the paper's super-IP graph families — hierarchical
+// swapped networks HSN(l;G) (Section 3.2), cyclic-shift networks CN(l;G)
+// (Section 3.3), super-flip networks (Section 3.4), their symmetric variants
+// (Section 3.5), and quotient networks — as ready-to-use constructors with
+// closed-form statistics (size, degree, diameter, inter-cluster degree and
+// diameter). Every closed form is validated against exhaustive measurement in
+// the tests, so the large-scale comparison figures can rely on them.
+package superip
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/networks"
+	"repro/internal/perm"
+	"repro/internal/symbols"
+)
+
+// NucleusSpec is a nucleus graph together with its analytic statistics.
+type NucleusSpec struct {
+	Nuc      core.Nucleus
+	Size     int // M: number of nucleus nodes
+	Degree   int // maximum degree of the nucleus graph
+	Diameter int // D_G
+	Short    string
+	// DistinctSeedSafe reports whether replacing the nucleus seed with
+	// distinct symbols (the Section 3.5 symmetric-variant construction)
+	// preserves the nucleus graph. True for pattern-based encodings whose
+	// generators act within fixed groups (Q, FQ, k-ary cubes, GHC) and for
+	// already-distinct seeds (star); false for one-hot encodings (K_k,
+	// Petersen) and rotation-based patterns (shuffle-exchange), whose state
+	// spaces blow up under distinct symbols.
+	DistinctSeedSafe bool
+}
+
+// NucleusHypercube returns the binary n-cube Q_n as a nucleus: n symbol
+// pairs with one pair-swapping generator per dimension.
+func NucleusHypercube(n int) NucleusSpec {
+	seed := symbols.RepeatedSeed(n, symbols.Label{1, 2})
+	gens := make([]perm.Perm, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		gens[i] = perm.Transposition(2*n, 2*i, 2*i+1)
+		names[i] = fmt.Sprintf("dim%d", i)
+	}
+	return NucleusSpec{
+		Nuc:              core.Nucleus{Name: fmt.Sprintf("Q%d", n), Seed: seed, Gens: gens, GenNames: names},
+		Size:             1 << n,
+		Degree:           n,
+		Diameter:         n,
+		Short:            fmt.Sprintf("Q%d", n),
+		DistinctSeedSafe: true,
+	}
+}
+
+// NucleusFoldedHypercube returns the folded hypercube FQ_n as a nucleus: the
+// Q_n pair encoding plus one complement generator that swaps every pair at
+// once.
+func NucleusFoldedHypercube(n int) NucleusSpec {
+	base := NucleusHypercube(n)
+	comp := perm.Identity(2 * n)
+	for i := 0; i < n; i++ {
+		comp[2*i], comp[2*i+1] = comp[2*i+1], comp[2*i]
+	}
+	nuc := base.Nuc
+	nuc.Name = fmt.Sprintf("FQ%d", n)
+	nuc.Gens = append(append([]perm.Perm{}, nuc.Gens...), comp)
+	nuc.GenNames = append(append([]string{}, nuc.GenNames...), "complement")
+	return NucleusSpec{
+		Nuc:              nuc,
+		Size:             1 << n,
+		Degree:           n + 1,
+		Diameter:         (n + 1) / 2,
+		Short:            fmt.Sprintf("FQ%d", n),
+		DistinctSeedSafe: true,
+	}
+}
+
+// NucleusComplete returns the complete graph K_k as a nucleus, in the one-hot
+// encoding: k symbols with a single marker, and all transpositions as
+// generators (each moves the marker to a different position).
+func NucleusComplete(k int) NucleusSpec {
+	seed := symbols.ConstantSeed(k, 1)
+	seed[0] = 2
+	var gens []perm.Perm
+	var names []string
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			gens = append(gens, perm.Transposition(k, i, j))
+			names = append(names, fmt.Sprintf("(%d %d)", i+1, j+1))
+		}
+	}
+	return NucleusSpec{
+		Nuc:      core.Nucleus{Name: fmt.Sprintf("K%d", k), Seed: seed, Gens: gens, GenNames: names},
+		Size:     k,
+		Degree:   k - 1,
+		Diameter: 1,
+		Short:    fmt.Sprintf("K%d", k),
+	}
+}
+
+// NucleusPetersen returns the Petersen graph as a nucleus via its IP-graph
+// representation (Theorem 2.1 machinery): one-hot labels over 10 symbols and
+// one generator per matching of a proper edge coloring. Used for the paper's
+// cyclic Petersen networks CN(l;P).
+func NucleusPetersen() NucleusSpec {
+	p, err := networks.Petersen{}.Build()
+	if err != nil {
+		panic(err)
+	}
+	ip, _, err := core.Represent("Petersen", p)
+	if err != nil {
+		panic(err)
+	}
+	return NucleusSpec{
+		Nuc:      core.Nucleus{Name: "P", Seed: ip.Seed, Gens: ip.Gens, GenNames: ip.GenNames},
+		Size:     10,
+		Degree:   3,
+		Diameter: 2,
+		Short:    "P",
+	}
+}
+
+// NucleusStar returns the n-symbol star graph as a nucleus: distinct symbols
+// with the star generators (1,i).
+func NucleusStar(n int) NucleusSpec {
+	seed := symbols.IotaSeed(n)
+	gens := make([]perm.Perm, 0, n-1)
+	names := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		gens = append(gens, perm.Transposition(n, 0, i))
+		names = append(names, fmt.Sprintf("(1 %d)", i+1))
+	}
+	size := 1
+	for i := 2; i <= n; i++ {
+		size *= i
+	}
+	return NucleusSpec{
+		Nuc:              core.Nucleus{Name: fmt.Sprintf("S%d", n), Seed: seed, Gens: gens, GenNames: names},
+		Size:             size,
+		Degree:           n - 1,
+		Diameter:         3 * (n - 1) / 2,
+		Short:            fmt.Sprintf("S%d", n),
+		DistinctSeedSafe: true,
+	}
+}
+
+// NucleusShuffleExchange returns the n-dimensional shuffle-exchange network
+// as a nucleus: n symbol pairs with rotate-left, rotate-right, and
+// exchange-last-pair generators. Used for hierarchical shuffle-exchange
+// networks.
+func NucleusShuffleExchange(n int) NucleusSpec {
+	seed := symbols.RepeatedSeed(n, symbols.Label{1, 2})
+	gens := []perm.Perm{
+		perm.BlockLeftShift(n, 2, 1),
+		perm.BlockRightShift(n, 2, 1),
+		perm.Transposition(2*n, 2*n-2, 2*n-1),
+	}
+	return NucleusSpec{
+		Nuc: core.Nucleus{
+			Name: fmt.Sprintf("SE%d", n), Seed: seed, Gens: gens,
+			GenNames: []string{"shuffle", "unshuffle", "exchange"},
+		},
+		Size:     1 << n,
+		Degree:   3,
+		Diameter: 2*n - 1,
+		Short:    fmt.Sprintf("SE%d", n),
+	}
+}
+
+// NucleusKAryCube returns the k-ary n-cube as a nucleus: n groups of k
+// symbols; the generator pair for group i cyclically rotates that group by
+// +-1. Each group's rotation offset is one radix-k coordinate, so the IP
+// graph has k^n states. For k = 2 prefer NucleusHypercube (one involution
+// per dimension instead of a redundant L/R pair).
+func NucleusKAryCube(k, n int) NucleusSpec {
+	seed := make(symbols.Label, 0, k*n)
+	for i := 0; i < n; i++ {
+		seed = append(seed, markedGroup(k)...)
+	}
+	var gens []perm.Perm
+	var names []string
+	for i := 0; i < n; i++ {
+		fwd := perm.Identity(k * n)
+		bwd := perm.Identity(k * n)
+		rot := perm.Rotation(k, 1)
+		for t := 0; t < k; t++ {
+			fwd[i*k+t] = i*k + rot[t]
+		}
+		rotBack := perm.Rotation(k, -1)
+		for t := 0; t < k; t++ {
+			bwd[i*k+t] = i*k + rotBack[t]
+		}
+		gens = append(gens, fwd, bwd)
+		names = append(names, fmt.Sprintf("rot%d+", i), fmt.Sprintf("rot%d-", i))
+	}
+	size := 1
+	for i := 0; i < n; i++ {
+		size *= k
+	}
+	deg := 2 * n
+	if k == 2 {
+		deg = n
+	}
+	return NucleusSpec{
+		Nuc:      core.Nucleus{Name: fmt.Sprintf("C(%d,%d)", k, n), Seed: seed, Gens: gens, GenNames: names},
+		Size:     size,
+		Degree:   deg,
+		Diameter: n * (k / 2),
+		Short:    fmt.Sprintf("C(%d,%d)", k, n),
+		// Rotating a group of distinct symbols still yields exactly k
+		// states per group, so the distinct-seed conversion is safe.
+		DistinctSeedSafe: true,
+	}
+}
+
+// NucleusGHC returns the generalized hypercube of Bhuyan and Agrawal as a
+// nucleus: one marked group per coordinate; the generators rotate a group
+// by any amount, so each coordinate induces a complete graph. The paper's
+// Section 4 notes that GHC nuclei of proper size and dimension yield
+// super-IP graphs with optimal diameters.
+func NucleusGHC(radices ...int) NucleusSpec {
+	total := 0
+	for _, r := range radices {
+		total += r
+	}
+	seed := make(symbols.Label, 0, total)
+	for _, r := range radices {
+		seed = append(seed, markedGroup(r)...)
+	}
+	var gens []perm.Perm
+	var names []string
+	offset := 0
+	size, deg := 1, 0
+	for gi, r := range radices {
+		for s := 1; s < r; s++ {
+			g := perm.Identity(total)
+			rot := perm.Rotation(r, s)
+			for t := 0; t < r; t++ {
+				g[offset+t] = offset + rot[t]
+			}
+			gens = append(gens, g)
+			names = append(names, fmt.Sprintf("rot%d by %d", gi, s))
+		}
+		offset += r
+		size *= r
+		deg += r - 1
+	}
+	return NucleusSpec{
+		Nuc:              core.Nucleus{Name: fmt.Sprintf("GHC%v", radices), Seed: seed, Gens: gens, GenNames: names},
+		Size:             size,
+		Degree:           deg,
+		Diameter:         len(radices),
+		Short:            fmt.Sprintf("GHC%v", radices),
+		DistinctSeedSafe: true,
+	}
+}
+
+// markedGroup returns a k-symbol group whose rotation offset is observable:
+// symbol 2 at the first position and 1 elsewhere, so the k rotations of the
+// group are k distinct states encoding one radix-k digit.
+func markedGroup(k int) symbols.Label {
+	g := symbols.ConstantSeed(k, 1)
+	g[0] = 2
+	return g
+}

@@ -1,0 +1,153 @@
+package superip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+// randomNet draws a random small super-IP instance from the family and
+// nucleus libraries.
+func randomNet(r *rand.Rand) *Net {
+	nuclei := []NucleusSpec{
+		NucleusHypercube(2),
+		NucleusHypercube(3),
+		NucleusComplete(3),
+		NucleusComplete(4),
+		NucleusFoldedHypercube(2),
+		NucleusKAryCube(3, 1),
+	}
+	kinds := []Kind{KindHSN, KindRingCN, KindCompleteCN, KindSuperFlip}
+	l := 2 + r.Intn(3)
+	nuc := nuclei[r.Intn(len(nuclei))]
+	kind := kinds[r.Intn(len(kinds))]
+	sym := r.Intn(4) == 0 && l <= 3 && nuc.DistinctSeedSafe // symmetric variants are bigger; keep small
+	return New(kind, l, nuc, sym)
+}
+
+// TestPropertySizeLaw draws random instances and checks Theorem 3.2 / the
+// Section 3.5 size law against the actual enumeration.
+func TestPropertySizeLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNet(r)
+		if net.N() > 1<<15 {
+			return true // skip very large draws
+		}
+		g, err := net.Build()
+		if err != nil {
+			t.Logf("%s: %v", net.Name(), err)
+			return false
+		}
+		return g.N() == net.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDiameterLaw checks Theorem 4.1/4.3 on random instances.
+func TestPropertyDiameterLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNet(r)
+		if net.N() > 1<<13 {
+			return true
+		}
+		g, err := net.Build()
+		if err != nil {
+			return false
+		}
+		st := g.Symmetrized().AllPairs()
+		if !st.Connected {
+			t.Logf("%s disconnected", net.Name())
+			return false
+		}
+		if int(st.Diameter) != net.Diameter() {
+			t.Logf("%s: BFS diameter %d, analytic %d", net.Name(), st.Diameter, net.Diameter())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRouterValidity routes random pairs on random instances and
+// checks validity and the Theorem 4.1 hop bound.
+func TestPropertyRouterValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNet(r)
+		if net.N() > 1<<12 {
+			return true
+		}
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			return false
+		}
+		router, err := net.Router()
+		if err != nil {
+			t.Logf("%s: router: %v", net.Name(), err)
+			return false
+		}
+		bound := net.Diameter()
+		for trial := 0; trial < 20; trial++ {
+			u := int32(r.Intn(ix.N()))
+			v := int32(r.Intn(ix.N()))
+			path, err := router.Route(ix.Label(u), ix.Label(v))
+			if err != nil {
+				t.Logf("%s: route: %v", net.Name(), err)
+				return false
+			}
+			if path.Hops() > bound {
+				t.Logf("%s: %d hops > bound %d", net.Name(), path.Hops(), bound)
+				return false
+			}
+			if !path.Labels[len(path.Labels)-1].Equal(ix.Label(v)) {
+				t.Logf("%s: route misses destination", net.Name())
+				return false
+			}
+			for i := 0; i+1 < len(path.Labels); i++ {
+				a, b := ix.ID(path.Labels[i]), ix.ID(path.Labels[i+1])
+				if a < 0 || b < 0 || !g.HasEdge(a, b) {
+					t.Logf("%s: route step %d not an edge", net.Name(), i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyIDiameterLaw checks that the measured inter-cluster diameter
+// under nucleus packing equals the analytic t (or t_S) on random instances.
+func TestPropertyIDiameterLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNet(r)
+		if net.N() > 1<<12 || net.Kind == KindDirectedCN {
+			return true
+		}
+		g, ix, err := net.BuildWithIndex()
+		if err != nil {
+			return false
+		}
+		p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+		st := metrics.IStats(g, p)
+		if int(st.Diameter) != net.IDiameter() {
+			t.Logf("%s: I-diameter %d, analytic %d", net.Name(), st.Diameter, net.IDiameter())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
