@@ -7,6 +7,15 @@
 //
 //	simulate -net HSN -l 2 -nucleus Q4 -ratios 1,4,16 -rates 0.002,0.01
 //	simulate -net hypercube -dim 8 -module 4
+//
+// Fault injection (degraded-mode operation, see internal/netsim.RunFaulty):
+//
+//	simulate -net HSN -l 2 -nucleus Q3 -faults 4 -mtbf 250 -repair 500
+//
+// -faults caps how many random faults strike; -mtbf sets the mean cycles
+// between fault arrivals; -repair heals each fault after that many cycles
+// (0 = permanent). Faulty runs print loss/retransmission/reroute columns
+// and the latency inflation against the fault-free baseline.
 package main
 
 import (
@@ -37,6 +46,10 @@ func main() {
 		cycles  = flag.Int("cycles", 3000, "measurement cycles")
 		warmup  = flag.Int("warmup", 300, "warmup cycles")
 		seed    = flag.Int64("seed", 42, "PRNG seed")
+		nFaults = flag.Int("faults", 0, "max random faults to inject (0 = fault-free)")
+		mtbf    = flag.Float64("mtbf", 250, "mean cycles between fault arrivals")
+		repair  = flag.Int("repair", 0, "cycles until a fault heals (0 = permanent)")
+		nodeFrc = flag.Float64("nodefaults", 0, "fraction of faults that kill a node instead of a link")
 	)
 	flag.Parse()
 
@@ -48,11 +61,32 @@ func main() {
 		name, g.N(), part.K, metrics.IDegree(g, part), ist.Diameter,
 		metrics.IICost(metrics.IDegree(g, part), int(ist.Diameter)))
 
-	fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-8s\n",
-		"ratio", "rate", "injected", "delivered", "avg-lat", "max-lat")
+	var plan *netsim.FaultPlan
+	if *nFaults > 0 {
+		plan, err = netsim.RandomFaults{
+			MTBF:         *mtbf,
+			RepairTime:   *repair,
+			NodeFraction: *nodeFrc,
+			Start:        *warmup,
+			Horizon:      *warmup + *cycles,
+			MaxFaults:    *nFaults,
+			Seed:         *seed,
+		}.Plan(g)
+		exitIf(err)
+		fmt.Printf("fault plan: %d events (mtbf %.0f, repair %d, node fraction %.2f)\n",
+			plan.Len(), *mtbf, *repair, *nodeFrc)
+	}
+
+	if plan == nil {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-8s\n",
+			"ratio", "rate", "injected", "delivered", "avg-lat", "max-lat")
+	} else {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-6s %-10s %-9s %-9s %-9s\n",
+			"ratio", "rate", "injected", "delivered", "lost", "retx", "avg-lat", "lat-infl", "reroutes", "detours")
+	}
 	for _, ratio := range parseInts(*ratios) {
 		for _, rate := range parseFloats(*rates) {
-			st, err := netsim.Run(netsim.Config{
+			cfg := netsim.Config{
 				Graph:           g,
 				Partition:       &part,
 				OffModulePeriod: ratio,
@@ -60,10 +94,19 @@ func main() {
 				WarmupCycles:    *warmup,
 				MeasureCycles:   *cycles,
 				Seed:            *seed,
-			})
+			}
+			if plan == nil {
+				st, err := netsim.Run(cfg)
+				exitIf(err)
+				fmt.Printf("%-8d %-8.4f %-10d %-10d %-10.2f %-8d\n",
+					ratio, rate, st.Injected, st.Delivered, st.AvgLatency, st.MaxLatency)
+				continue
+			}
+			fs, _, err := netsim.RunFaultyWithBaseline(cfg, netsim.FaultConfig{Plan: plan})
 			exitIf(err)
-			fmt.Printf("%-8d %-8.4f %-10d %-10d %-10.2f %-8d\n",
-				ratio, rate, st.Injected, st.Delivered, st.AvgLatency, st.MaxLatency)
+			fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-6d %-10.2f %-9.2f %-9d %-9d\n",
+				ratio, rate, fs.Injected, fs.Delivered, fs.Lost, fs.Retransmitted,
+				fs.AvgLatency, fs.LatencyInflation, fs.RerouteEvents, fs.MisroutedHops)
 		}
 	}
 }

@@ -264,3 +264,113 @@ func TestDisjointPathsErrors(t *testing.T) {
 		t.Fatal("directed must fail")
 	}
 }
+
+func TestDisjointPathsDisconnectedPair(t *testing.T) {
+	// s and t in different components: the max-flow is zero, so the
+	// decomposition returns no paths and no error — callers distinguish
+	// "disconnected" from failure by the empty result.
+	b := graph.NewBuilder(6, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	paths, err := DisjointPaths(g, 0, 5)
+	if err != nil {
+		t.Fatalf("disconnected pair must not error: %v", err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("disconnected pair yielded %d paths", len(paths))
+	}
+}
+
+func TestDisjointPathsAdjacentPair(t *testing.T) {
+	// Menger for adjacent s,t: the direct edge is itself a path; on Q3 the
+	// count for neighbors is deg = 3 (edge plus two length-3 detours... in
+	// fact kappa(Q3)=3 paths exist).
+	g, err := networks.Hypercube{Dim: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := DisjointPaths(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("adjacent pair in Q3: %d disjoint paths, want 3", len(paths))
+	}
+	seen := map[int32]bool{}
+	for _, p := range paths {
+		if p[0] != 0 || p[len(p)-1] != 1 {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("path step %d-%d not an edge", p[i], p[i+1])
+			}
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if seen[v] {
+				t.Fatalf("internal node %d reused", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFaultDiameterDirected(t *testing.T) {
+	// FaultDiameter accepts directed graphs: the survivor check uses
+	// strong connectivity, so a directed de Bruijn graph reports a finite
+	// fault diameter under a single node fault.
+	g, err := networks.DeBruijn{Base: 2, Dim: 3}.BuildDirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd0, err := FaultDiameter(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd0 != 3 {
+		t.Fatalf("fault-free directed B(2,3) diameter = %d, want 3", fd0)
+	}
+	fd1, err := FaultDiameter(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd1 < fd0 {
+		t.Fatalf("1-fault diameter %d below fault-free %d", fd1, fd0)
+	}
+}
+
+func TestFaultDiameterDisconnectingGraph(t *testing.T) {
+	// A path on 3 nodes: removing the middle node disconnects, removing an
+	// end leaves a 2-path. The fault diameter only ranges over fault sets
+	// whose survivors stay connected, so f=1 reports the 2-node survivor
+	// diameter 1.
+	b := graph.NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	fd, err := FaultDiameter(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd != 2 {
+		// f counts "up to f" faults: zero faults keeps the full path with
+		// diameter 2, which dominates every connected survivor.
+		t.Fatalf("path fault diameter = %d, want 2", fd)
+	}
+	// Two nodes, one edge, one fault: every single-node removal leaves a
+	// lone survivor (no measurable pair), so only the fault-free diameter
+	// counts.
+	b2 := graph.NewBuilder(2, false)
+	b2.AddEdge(0, 1)
+	g2 := b2.Build()
+	fd2, err := FaultDiameter(g2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd2 != 1 {
+		t.Fatalf("K2 fault diameter = %d, want 1", fd2)
+	}
+}

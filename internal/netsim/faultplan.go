@@ -1,0 +1,169 @@
+// Fault scheduling for the packet simulator: a FaultPlan is a deterministic
+// list of link/node failure (and repair) events applied to the topology at
+// specific cycles while a simulation runs. Plans are either hand-built
+// (LinkDown/NodeDown) or generated from an MTBF-style random process
+// (RandomFaults.Plan) with a fixed seed, so every degraded-mode run is
+// reproducible.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// FaultKind distinguishes link faults from node faults.
+type FaultKind uint8
+
+const (
+	// LinkFault disables one link; on undirected graphs both directions die.
+	LinkFault FaultKind = iota
+	// NodeFault disables a node: it stops injecting, forwarding, and
+	// receiving, and every packet queued at it is dropped.
+	NodeFault
+)
+
+func (k FaultKind) String() string {
+	if k == NodeFault {
+		return "node"
+	}
+	return "link"
+}
+
+// FaultEvent is one scheduled failure. A Repair cycle > Cycle makes the
+// fault transient (the component heals at Repair); Repair <= Cycle means the
+// fault is permanent.
+type FaultEvent struct {
+	Cycle  int
+	Kind   FaultKind
+	U, V   int32 // link endpoints; V ignored for node faults
+	Repair int
+}
+
+// Transient reports whether the event heals.
+func (e FaultEvent) Transient() bool { return e.Repair > e.Cycle }
+
+// FaultPlan is an ordered schedule of failures injected during a run.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// LinkDown schedules link (u,v) to fail at cycle, healing at repair
+// (repair <= cycle means permanent). Returns the plan for chaining.
+func (p *FaultPlan) LinkDown(cycle int, u, v int32, repair int) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{Cycle: cycle, Kind: LinkFault, U: u, V: v, Repair: repair})
+	return p
+}
+
+// NodeDown schedules node u to fail at cycle, healing at repair
+// (repair <= cycle means permanent). Returns the plan for chaining.
+func (p *FaultPlan) NodeDown(cycle int, u int32, repair int) *FaultPlan {
+	p.Events = append(p.Events, FaultEvent{Cycle: cycle, Kind: NodeFault, U: u, Repair: repair})
+	return p
+}
+
+// Len returns the number of scheduled fault events.
+func (p *FaultPlan) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Events)
+}
+
+// Validate checks every event against the topology: endpoints in range, link
+// events on actual edges, and non-negative cycles.
+func (p *FaultPlan) Validate(g *graph.Graph) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if e.Cycle < 0 {
+			return fmt.Errorf("netsim: fault %d at negative cycle %d", i, e.Cycle)
+		}
+		if e.U < 0 || int(e.U) >= g.N() {
+			return fmt.Errorf("netsim: fault %d: node %d out of range", i, e.U)
+		}
+		if e.Kind == LinkFault {
+			if e.V < 0 || int(e.V) >= g.N() {
+				return fmt.Errorf("netsim: fault %d: node %d out of range", i, e.V)
+			}
+			if !g.HasEdge(e.U, e.V) {
+				return fmt.Errorf("netsim: fault %d: no link %d-%d in the topology", i, e.U, e.V)
+			}
+		}
+	}
+	return nil
+}
+
+// sorted returns the events ordered by strike cycle (stable), leaving the
+// plan itself untouched.
+func (p *FaultPlan) sorted() []FaultEvent {
+	if p == nil {
+		return nil
+	}
+	evs := append([]FaultEvent(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+	return evs
+}
+
+// RandomFaults parameterizes an MTBF-style random fault process.
+type RandomFaults struct {
+	// MTBF is the mean number of cycles between fault arrivals network-wide
+	// (geometric inter-arrival: each cycle strikes with probability 1/MTBF).
+	MTBF float64
+	// RepairTime is how many cycles a fault lasts before healing; 0 makes
+	// every fault permanent.
+	RepairTime int
+	// NodeFraction is the probability that a fault kills a node instead of
+	// a link (0 = link faults only).
+	NodeFraction float64
+	// Start and Horizon bound the strike window [Start, Horizon).
+	Start, Horizon int
+	// MaxFaults caps the number of generated events (0 = unlimited).
+	MaxFaults int
+	// Seed makes the plan deterministic.
+	Seed int64
+}
+
+// Plan draws a deterministic fault schedule for g. The same graph, seed, and
+// parameters always produce the same plan. Node 0 is never killed by a node
+// fault (keeping at least one stable observer); links are drawn uniformly
+// from the edge list, nodes uniformly from 1..N-1, and repeat strikes on a
+// component already scheduled down at that cycle are simply re-drawn as
+// independent events (the simulator handles overlap by reference counting).
+func (r RandomFaults) Plan(g *graph.Graph) (*FaultPlan, error) {
+	if r.MTBF <= 0 {
+		return nil, fmt.Errorf("netsim: RandomFaults.MTBF must be positive, got %v", r.MTBF)
+	}
+	if r.NodeFraction < 0 || r.NodeFraction > 1 {
+		return nil, fmt.Errorf("netsim: RandomFaults.NodeFraction %v out of [0,1]", r.NodeFraction)
+	}
+	if r.Horizon <= r.Start {
+		return nil, fmt.Errorf("netsim: RandomFaults window [%d,%d) is empty", r.Start, r.Horizon)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	edges := g.EdgeList()
+	plan := &FaultPlan{}
+	prob := 1 / r.MTBF
+	for cycle := r.Start; cycle < r.Horizon; cycle++ {
+		if r.MaxFaults > 0 && plan.Len() >= r.MaxFaults {
+			break
+		}
+		if rng.Float64() >= prob {
+			continue
+		}
+		repair := 0
+		if r.RepairTime > 0 {
+			repair = cycle + r.RepairTime
+		}
+		if rng.Float64() < r.NodeFraction && g.N() > 1 {
+			plan.NodeDown(cycle, int32(1+rng.Intn(g.N()-1)), repair)
+		} else if len(edges) > 0 {
+			e := edges[rng.Intn(len(edges))]
+			plan.LinkDown(cycle, e[0], e[1], repair)
+		}
+	}
+	return plan, nil
+}

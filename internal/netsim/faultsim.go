@@ -1,0 +1,515 @@
+// Fault-tolerant operation: RunFaulty executes the packet simulator while a
+// FaultPlan kills (and possibly heals) links and nodes mid-run. Three layers
+// keep traffic flowing, mirroring how real interconnects operate through
+// failures:
+//
+//  1. Fault-adaptive routing. Per-destination next-hop tables are rebuilt
+//     against the surviving topology when a failure (or repair) notification
+//     arrives (route.BFSNextHopsAvoiding); notifications propagate after
+//     FaultConfig.NotifyDelay cycles, during which packets route on stale
+//     tables.
+//  2. Local detour. A packet whose tabled next hop is dead (stale table, or
+//     no live minimal hop at all) misroutes to a random live neighbor,
+//     spending one unit of a bounded detour TTL; when the TTL or all
+//     neighbors are exhausted the copy is dropped.
+//  3. End-to-end reliability. Every packet is a flow tracked at its source:
+//     if no copy reaches the destination within a timeout the source
+//     retransmits with exponential backoff, up to MaxRetries; destinations
+//     suppress duplicate copies by sequence number. A hop-count watchdog
+//     kills livelocked copies, and flows whose endpoints are disconnected
+//     are detected and reported.
+//
+// The degraded-mode statistics (FaultStats) extend the fault-free Stats with
+// loss, retransmission, misroute, reroute-latency, and disconnection
+// counters, plus the latency inflation against a fault-free baseline.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/route"
+)
+
+// FaultConfig parameterizes fault injection and the recovery protocol.
+type FaultConfig struct {
+	// Plan is the fault schedule (nil or empty = fault-free run).
+	Plan *FaultPlan
+	// RetransmitTimeout is the source-side timeout in cycles before the
+	// first retransmission of an undelivered packet; it doubles on every
+	// retry (exponential backoff). 0 selects the default (64).
+	RetransmitTimeout int
+	// MaxRetries bounds retransmissions per flow. 0 selects the default
+	// (8); a negative value disables retransmission entirely.
+	MaxRetries int
+	// DetourTTL is the per-transmission misroute budget: how many non-
+	// minimal detour hops one copy may take around dead components. 0
+	// selects the default (16); a negative value disables detours.
+	DetourTTL int
+	// NotifyDelay is how many cycles a topology change takes to reach the
+	// routing layer; until then tables stay stale and packets rely on
+	// detours. The rebuild itself uses the true current topology.
+	NotifyDelay int
+}
+
+func (fc *FaultConfig) normalize() error {
+	if fc.RetransmitTimeout < 0 {
+		return fmt.Errorf("netsim: negative RetransmitTimeout %d", fc.RetransmitTimeout)
+	}
+	if fc.RetransmitTimeout == 0 {
+		fc.RetransmitTimeout = 64
+	}
+	if fc.MaxRetries == 0 {
+		fc.MaxRetries = 8
+	}
+	if fc.DetourTTL == 0 {
+		fc.DetourTTL = 16
+	}
+	if fc.NotifyDelay < 0 {
+		return fmt.Errorf("netsim: negative NotifyDelay %d", fc.NotifyDelay)
+	}
+	return nil
+}
+
+// FaultStats extends Stats with degraded-mode counters. Injected counts
+// measured flows (originals, not retransmissions); every measured flow ends
+// as either Delivered or Lost.
+type FaultStats struct {
+	Stats
+	// Lost counts measured flows abandoned after MaxRetries retransmissions
+	// (or still undelivered at the drain deadline).
+	Lost int
+	// Retransmitted counts source-side retransmissions of measured flows.
+	Retransmitted int
+	// Duplicates counts copies of measured flows that arrived after the
+	// flow was already delivered (suppressed at the destination).
+	Duplicates int
+	// MisroutedHops counts detour hops taken because the tabled next hop
+	// was dead or no minimal live hop existed.
+	MisroutedHops int
+	// RerouteEvents counts per-destination next-hop table rebuilds
+	// triggered by fault/repair notifications.
+	RerouteEvents int
+	// MeanTimeToReroute is the mean number of cycles between a topology
+	// change and the (lazy, notification-delayed) rebuild of a table that
+	// change invalidated.
+	MeanTimeToReroute float64
+	// DisconnectedPairs counts lost measured flows whose source and
+	// destination had no live path when the flow was abandoned.
+	DisconnectedPairs int
+	// FaultsInjected and FaultsRepaired count fault events applied and
+	// healed during the run.
+	FaultsInjected, FaultsRepaired int
+	// LatencyInflation is AvgLatency divided by the fault-free baseline
+	// latency; it is only filled in by RunFaultyWithBaseline (0 otherwise).
+	LatencyInflation float64
+}
+
+// fpacket is one in-flight copy of a flow.
+type fpacket struct {
+	dst      int32
+	seq      int32
+	ttl      int // remaining detour budget for this copy
+	hops     int // total hops taken (livelock watchdog)
+	measured bool
+}
+
+// flowState is the source-side record backing retransmission.
+type flowState struct {
+	src, dst int32
+	born     int
+	timeout  int // current backoff value
+	attempt  int // retransmissions performed
+	measured bool
+	done     bool // delivered or abandoned
+}
+
+// RunFaulty executes the simulation under cfg while applying fc.Plan.
+// With a nil/empty plan and default protocol parameters it reproduces
+// Run(cfg) exactly (same RNG draw sequence).
+func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
+	if err := cfg.normalize(); err != nil {
+		return FaultStats{}, err
+	}
+	if err := fc.normalize(); err != nil {
+		return FaultStats{}, err
+	}
+	g := cfg.Graph
+	n := g.N()
+	if err := fc.Plan.Validate(g); err != nil {
+		return FaultStats{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// ---- topology liveness (reference-counted for overlapping faults) ----
+	nodeDownCnt := make([]int, n)
+	links := make([][]faultLink, n)
+	slotOf := make([]map[int32]int, n)
+	for u := 0; u < n; u++ {
+		adj := g.Neighbors(int32(u))
+		links[u] = make([]faultLink, len(adj))
+		slotOf[u] = make(map[int32]int, len(adj))
+		for s, v := range adj {
+			slotOf[u][v] = s
+		}
+	}
+	nodeDead := func(v int32) bool { return nodeDownCnt[v] > 0 }
+	linkDead := func(u, v int32) bool { return links[u][slotOf[u][v]].downCnt > 0 }
+
+	// Epoch bookkeeping: epochCycle[e] is the cycle at which epoch e began
+	// (one bump per cycle that changed the topology).
+	epochCycle := []int{0}
+	topoEpoch := 0
+	visEpoch := 0 // epochs whose changes have propagated (NotifyDelay old)
+
+	// Scheduled events, bucketed by cycle.
+	type topoChange struct {
+		kind  FaultKind
+		u, v  int32
+		down  bool
+	}
+	changesAt := map[int][]topoChange{}
+	for _, e := range fc.Plan.sorted() {
+		changesAt[e.Cycle] = append(changesAt[e.Cycle], topoChange{kind: e.Kind, u: e.U, v: e.V, down: true})
+		if e.Transient() {
+			changesAt[e.Repair] = append(changesAt[e.Repair], topoChange{kind: e.Kind, u: e.U, v: e.V, down: false})
+		}
+	}
+
+	// ---- routing tables, rebuilt lazily on visible topology changes ----
+	tables := make([]route.NextHopTable, n)
+	tableEpoch := make([]int, n)
+	var allTables [][][]int32
+	if cfg.Adaptive {
+		allTables = make([][][]int32, n)
+	}
+	st := FaultStats{}
+	var rerouteLagSum int64
+	freshen := func(dst int32, now int) {
+		built := cfg.Adaptive && allTables[dst] != nil || !cfg.Adaptive && tables[dst] != nil
+		if built && tableEpoch[dst] >= visEpoch {
+			return
+		}
+		if built {
+			// The first change this table missed began epoch tableEpoch+1.
+			st.RerouteEvents++
+			rerouteLagSum += int64(now - epochCycle[tableEpoch[dst]+1])
+		}
+		if cfg.Adaptive {
+			allTables[dst] = route.BFSAllNextHopsAvoiding(g, dst, nodeDead, linkDead)
+		} else {
+			tables[dst] = route.BFSNextHopsAvoiding(g, dst, nodeDead, linkDead)
+		}
+		tableEpoch[dst] = topoEpoch
+	}
+	// nextHop picks the forwarding hop for a copy at node `at`, preferring
+	// the (possibly stale) table and falling back to a TTL-bounded detour.
+	// ok=false means the copy is dropped.
+	nextHop := func(at int32, p *fpacket, now int) (nh int32, ok bool) {
+		freshen(p.dst, now)
+		if cfg.Adaptive {
+			opts := allTables[p.dst][at]
+			// Filter to currently-live options (the table may be stale).
+			live := opts[:0:0]
+			for _, v := range opts {
+				if !nodeDead(v) && !linkDead(at, v) {
+					live = append(live, v)
+				}
+			}
+			if len(live) > 0 {
+				return live[rng.Intn(len(live))], true
+			}
+		} else {
+			h := tables[p.dst][at]
+			if h >= 0 && !nodeDead(h) && !linkDead(at, h) {
+				return h, true
+			}
+		}
+		// Detour: misroute to a random live neighbor.
+		if p.ttl <= 0 {
+			return 0, false
+		}
+		adj := g.Neighbors(at)
+		var live []int32
+		for _, v := range adj {
+			if !nodeDead(v) && !linkDead(at, v) {
+				live = append(live, v)
+			}
+		}
+		if len(live) == 0 {
+			return 0, false
+		}
+		p.ttl--
+		st.MisroutedHops++
+		return live[rng.Intn(len(live))], true
+	}
+
+	// ---- link service periods (validated by normalize) ----
+	period := func(u, v int32) int {
+		if cfg.PeriodFunc != nil {
+			return cfg.PeriodFunc(u, v)
+		}
+		if cfg.Partition == nil || cfg.Partition.Of[u] == cfg.Partition.Of[v] {
+			return 1
+		}
+		return cfg.OffModulePeriod
+	}
+	maxDelay := cfg.maxServicePeriod() * cfg.Flits
+	type arrival struct {
+		node int32
+		pkt  fpacket
+	}
+	ring := make([][]arrival, maxDelay+1)
+
+	// ---- flow table and retransmission schedule ----
+	var flows []flowState
+	retryAt := map[int][]int32{}
+	outstandingMeasured := 0
+	var latencySum int64
+	hopLimit := 8 * n
+
+	reachable := func(src, dst int32) bool {
+		if nodeDead(src) || nodeDead(dst) {
+			return false
+		}
+		t := route.BFSNextHopsAvoiding(g, dst, nodeDead, linkDead)
+		return t[src] >= 0
+	}
+	abandon := func(seq int32) {
+		f := &flows[seq]
+		f.done = true
+		if !f.measured {
+			return
+		}
+		st.Lost++
+		outstandingMeasured--
+		if !reachable(f.src, f.dst) {
+			st.DisconnectedPairs++
+		}
+	}
+
+	// enqueue routes one copy from node `at`: deliver, forward, or drop.
+	var enqueue func(now int, at int32, pkt fpacket)
+	enqueue = func(now int, at int32, pkt fpacket) {
+		f := &flows[pkt.seq]
+		if pkt.dst == at {
+			if f.done {
+				if f.measured {
+					st.Duplicates++
+				}
+				return
+			}
+			f.done = true
+			if f.measured {
+				st.Delivered++
+				outstandingMeasured--
+				lat := now - f.born
+				latencySum += int64(lat)
+				if lat > st.MaxLatency {
+					st.MaxLatency = lat
+				}
+			}
+			return
+		}
+		if pkt.hops >= hopLimit { // livelock watchdog
+			return
+		}
+		nh, ok := nextHop(at, &pkt, now)
+		if !ok {
+			return // copy dropped; the source timeout recovers the flow
+		}
+		links[at][slotOf[at][nh]].queue = append(links[at][slotOf[at][nh]].queue, pkt)
+	}
+
+	applyChange := func(now int, c topoChange) {
+		switch c.kind {
+		case NodeFault:
+			if c.down {
+				nodeDownCnt[c.u]++
+				st.FaultsInjected++
+				if nodeDownCnt[c.u] == 1 {
+					// Everything queued at the dead node is lost.
+					for s := range links[c.u] {
+						links[c.u][s].queue = links[c.u][s].queue[:0]
+					}
+				}
+			} else {
+				nodeDownCnt[c.u]--
+				st.FaultsRepaired++
+			}
+		case LinkFault:
+			mark := func(a, b int32) {
+				lk := &links[a][slotOf[a][b]]
+				if c.down {
+					lk.downCnt++
+					if lk.downCnt == 1 && len(lk.queue) > 0 {
+						// Re-route the stranded queue from node a.
+						q := lk.queue
+						lk.queue = nil
+						for _, pkt := range q {
+							enqueue(now, a, pkt)
+						}
+					}
+				} else {
+					lk.downCnt--
+				}
+			}
+			mark(c.u, c.v)
+			if !g.Directed {
+				mark(c.v, c.u)
+			}
+			if c.down {
+				st.FaultsInjected++
+			} else {
+				st.FaultsRepaired++
+			}
+		}
+	}
+
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	deadline := total + cfg.DrainCycles
+	for now := 0; now < deadline; now++ {
+		// 1. Apply scheduled topology changes.
+		if cs, hit := changesAt[now]; hit {
+			for _, c := range cs {
+				applyChange(now, c)
+			}
+			topoEpoch++
+			epochCycle = append(epochCycle, now)
+		}
+		for visEpoch < topoEpoch && epochCycle[visEpoch+1]+fc.NotifyDelay <= now {
+			visEpoch++
+		}
+		// 2. Deliver arrivals scheduled for this cycle.
+		slot := now % len(ring)
+		for _, a := range ring[slot] {
+			if nodeDead(a.node) {
+				continue // arrived at a dead router: copy lost
+			}
+			enqueue(now, a.node, a.pkt)
+		}
+		ring[slot] = ring[slot][:0]
+		// 3. Fire retransmission timers.
+		if seqs, hit := retryAt[now]; hit {
+			for _, seq := range seqs {
+				f := &flows[seq]
+				if f.done {
+					continue
+				}
+				if fc.MaxRetries < 0 || f.attempt >= fc.MaxRetries {
+					abandon(seq)
+					continue
+				}
+				f.attempt++
+				if f.measured {
+					st.Retransmitted++
+				}
+				f.timeout *= 2
+				retryAt[now+f.timeout] = append(retryAt[now+f.timeout], seq)
+				if !nodeDead(f.src) {
+					enqueue(now, f.src, fpacket{dst: f.dst, seq: seq, ttl: maxInt(fc.DetourTTL, 0), measured: f.measured})
+				}
+			}
+			delete(retryAt, now)
+		}
+		// 4. Inject new traffic.
+		if now < total {
+			for u := 0; u < n; u++ {
+				if rng.Float64() >= cfg.InjectionRate {
+					continue
+				}
+				dst := cfg.Pattern(int32(u), n, rng)
+				if dst == int32(u) || dst < 0 || int(dst) >= n {
+					continue
+				}
+				if nodeDead(int32(u)) || nodeDead(dst) {
+					continue // dead sources stay silent; dead sinks are skipped
+				}
+				measured := now >= cfg.WarmupCycles
+				seq := int32(len(flows))
+				flows = append(flows, flowState{src: int32(u), dst: dst, born: now,
+					timeout: fc.RetransmitTimeout, measured: measured})
+				if measured {
+					st.Injected++
+					outstandingMeasured++
+				}
+				retryAt[now+fc.RetransmitTimeout] = append(retryAt[now+fc.RetransmitTimeout], seq)
+				enqueue(now, int32(u), fpacket{dst: dst, seq: seq, ttl: maxInt(fc.DetourTTL, 0), measured: measured})
+			}
+		} else if outstandingMeasured == 0 {
+			break
+		}
+		// 5. Advance links: each live, free link transmits its queue head.
+		for u := 0; u < n; u++ {
+			if nodeDead(int32(u)) {
+				continue
+			}
+			adj := g.Neighbors(int32(u))
+			for s := range links[u] {
+				lk := &links[u][s]
+				if lk.downCnt > 0 || len(lk.queue) == 0 || lk.freeAt > now {
+					continue
+				}
+				pkt := lk.queue[0]
+				lk.queue = lk.queue[1:]
+				pkt.hops++
+				p := period(int32(u), adj[s])
+				occupy := p * cfg.Flits
+				lk.freeAt = now + occupy
+				delay := occupy
+				if cfg.CutThrough {
+					delay = p
+				}
+				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
+			}
+		}
+	}
+	// Flows still pending at the deadline are lost.
+	for seq := range flows {
+		if !flows[seq].done {
+			abandon(int32(seq))
+		}
+	}
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(latencySum) / float64(st.Delivered)
+	}
+	if st.RerouteEvents > 0 {
+		st.MeanTimeToReroute = float64(rerouteLagSum) / float64(st.RerouteEvents)
+	}
+	if cfg.MeasureCycles > 0 {
+		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
+	}
+	return st, nil
+}
+
+// faultLink is one directed link with liveness and an outgoing FIFO.
+type faultLink struct {
+	queue   []fpacket
+	freeAt  int
+	downCnt int
+}
+
+// RunFaultyWithBaseline runs cfg fault-free (Run) and under the plan
+// (RunFaulty), and returns the degraded stats with LatencyInflation filled
+// in as faulty/baseline average latency, plus the baseline itself.
+func RunFaultyWithBaseline(cfg Config, fc FaultConfig) (FaultStats, Stats, error) {
+	base, err := Run(cfg)
+	if err != nil {
+		return FaultStats{}, Stats{}, err
+	}
+	faulty, err := RunFaulty(cfg, fc)
+	if err != nil {
+		return FaultStats{}, Stats{}, err
+	}
+	if base.AvgLatency > 0 {
+		faulty.LatencyInflation = faulty.AvgLatency / base.AvgLatency
+	}
+	return faulty, base, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -59,8 +59,63 @@ type Config struct {
 	// PeriodFunc, when non-nil, overrides Partition/OffModulePeriod with an
 	// arbitrary per-link service time — e.g. a multi-level packaging
 	// hierarchy (chip / board / cage) with different speeds per level.
-	// Must return >= 1.
+	// Must return >= 1 for every link of the graph; Run validates this up
+	// front and returns an error on violation.
 	PeriodFunc func(u, v int32) int
+}
+
+// normalize applies defaults and validates the configuration. It is shared
+// by Run and RunFaulty so both reject the same bad inputs: a missing or
+// trivial graph, an injection rate outside [0,1], and a PeriodFunc that
+// returns a period < 1 on any link of the topology.
+func (cfg *Config) normalize() error {
+	g := cfg.Graph
+	if g == nil || g.N() < 2 {
+		return fmt.Errorf("netsim: need a graph with at least 2 nodes")
+	}
+	if cfg.OffModulePeriod < 1 {
+		cfg.OffModulePeriod = 1
+	}
+	if cfg.InjectionRate < 0 || cfg.InjectionRate > 1 {
+		return fmt.Errorf("netsim: injection rate %v out of [0,1]", cfg.InjectionRate)
+	}
+	if cfg.DrainCycles == 0 {
+		cfg.DrainCycles = 10 * (cfg.WarmupCycles + cfg.MeasureCycles)
+	}
+	if cfg.Flits < 1 {
+		cfg.Flits = 1
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = Uniform
+	}
+	if cfg.PeriodFunc != nil {
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(int32(u)) {
+				if p := cfg.PeriodFunc(int32(u), v); p < 1 {
+					return fmt.Errorf("netsim: PeriodFunc(%d,%d) = %d, must be >= 1", u, v, p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// maxServicePeriod returns the largest link service period of the
+// (normalized) configuration; it bounds the in-flight delay and sizes the
+// arrival ring buffer.
+func (cfg *Config) maxServicePeriod() int {
+	maxPeriod := cfg.OffModulePeriod
+	if cfg.PeriodFunc != nil {
+		g := cfg.Graph
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(int32(u)) {
+				if p := cfg.PeriodFunc(int32(u), v); p > maxPeriod {
+					maxPeriod = p
+				}
+			}
+		}
+	}
+	return maxPeriod
 }
 
 // PatternFunc picks a destination for a packet injected at src; returning
@@ -77,8 +132,13 @@ func Uniform(src int32, n int, rng *rand.Rand) int32 {
 }
 
 // Transpose sends node (x,y) to (y,x): the id's high and low bit halves are
-// swapped. Requires n to be a power of two with an even exponent; other
-// sizes fall back to BitComplement.
+// swapped. The swap is only well defined when n is a power of two with an
+// even exponent (so the id splits into two equal halves). For every other
+// size — odd exponents like n=32 as well as non-powers-of-two like n=12 —
+// Transpose explicitly falls back to BitComplement(src, n, nil), which in
+// turn degrades to the antipode (src + n/2) mod n when n is not a power of
+// two. The fallback keeps sweeps over heterogeneous topologies (e.g. star
+// graphs with n = k!) runnable with a single pattern flag.
 func Transpose(src int32, n int, _ *rand.Rand) int32 {
 	bitsN := 0
 	for 1<<bitsN < n {
@@ -93,8 +153,12 @@ func Transpose(src int32, n int, _ *rand.Rand) int32 {
 	return lo<<half | hi
 }
 
-// BitComplement sends node u to its bitwise complement (n must be a power
-// of two; otherwise the antipode (u + n/2) mod n is used).
+// BitComplement sends node src to its bitwise complement. Complementing
+// only permutes the id space when n is a power of two; for any other size
+// the function explicitly falls back to the antipode (src + n/2) mod n,
+// which is the closest "maximally distant partner" analogue that stays a
+// permutation (odd n pairs node i with i + floor(n/2), which is a
+// derangement-like pairing rather than an involution).
 func BitComplement(src int32, n int, _ *rand.Rand) int32 {
 	bitsN := 0
 	for 1<<bitsN < n {
@@ -137,27 +201,13 @@ type packet struct {
 	measured bool
 }
 
-// Run executes the simulation.
+// Run executes the simulation. For runs that inject failures mid-flight see
+// RunFaulty.
 func Run(cfg Config) (Stats, error) {
+	if err := cfg.normalize(); err != nil {
+		return Stats{}, err
+	}
 	g := cfg.Graph
-	if g == nil || g.N() < 2 {
-		return Stats{}, fmt.Errorf("netsim: need a graph with at least 2 nodes")
-	}
-	if cfg.OffModulePeriod < 1 {
-		cfg.OffModulePeriod = 1
-	}
-	if cfg.InjectionRate < 0 || cfg.InjectionRate > 1 {
-		return Stats{}, fmt.Errorf("netsim: injection rate %v out of [0,1]", cfg.InjectionRate)
-	}
-	if cfg.DrainCycles == 0 {
-		cfg.DrainCycles = 10 * (cfg.WarmupCycles + cfg.MeasureCycles)
-	}
-	if cfg.Flits < 1 {
-		cfg.Flits = 1
-	}
-	if cfg.Pattern == nil {
-		cfg.Pattern = Uniform
-	}
 	n := g.N()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -190,10 +240,7 @@ func Run(cfg Config) (Stats, error) {
 
 	period := func(u, v int32) int {
 		if cfg.PeriodFunc != nil {
-			if p := cfg.PeriodFunc(u, v); p >= 1 {
-				return p
-			}
-			return 1
+			return cfg.PeriodFunc(u, v) // >= 1, validated by normalize
 		}
 		if cfg.Partition == nil || cfg.Partition.Of[u] == cfg.Partition.Of[v] {
 			return 1
@@ -218,17 +265,7 @@ func Run(cfg Config) (Stats, error) {
 	}
 	// Future arrivals ring buffer, sized for the longest possible delay
 	// (a full store-and-forward message on a slow link).
-	maxPeriod := cfg.OffModulePeriod
-	if cfg.PeriodFunc != nil {
-		for u := 0; u < n; u++ {
-			for _, v := range g.Neighbors(int32(u)) {
-				if p := cfg.PeriodFunc(int32(u), v); p > maxPeriod {
-					maxPeriod = p
-				}
-			}
-		}
-	}
-	maxDelay := maxPeriod * cfg.Flits
+	maxDelay := cfg.maxServicePeriod() * cfg.Flits
 	type arrival struct {
 		node int32
 		pkt  packet

@@ -177,11 +177,29 @@ func TestPatterns(t *testing.T) {
 	if got := Transpose(5, 32, nil); got != 5^31 {
 		t.Fatalf("Transpose odd-exponent fallback = %d", got)
 	}
+	// Non-power-of-two sizes (e.g. star graphs, n = k!) fall through
+	// Transpose -> BitComplement -> antipode: (src + n/2) mod n.
+	if got := Transpose(5, 12, nil); got != 11 {
+		t.Fatalf("Transpose non-power-of-two fallback = %d, want antipode 11", got)
+	}
+	if got := Transpose(20, 24, nil); got != 8 {
+		t.Fatalf("Transpose(20, 24) = %d, want (20+12)%%24 = 8", got)
+	}
 	if got := BitComplement(5, 32, nil); got != 26 {
 		t.Fatalf("BitComplement(5) = %d", got)
 	}
 	if got := BitComplement(3, 10, nil); got != 8 {
 		t.Fatalf("BitComplement non-power-of-two = %d", got)
+	}
+	// The antipode fallback must stay a permutation (injective) so that
+	// pattern sweeps on star graphs pair every node.
+	seen := map[int32]bool{}
+	for src := int32(0); src < 120; src++ {
+		d := BitComplement(src, 120, nil)
+		if d < 0 || d >= 120 || seen[d] {
+			t.Fatalf("antipode fallback not a permutation at %d -> %d", src, d)
+		}
+		seen[d] = true
 	}
 	hs := Hotspot(1.0)
 	r := rand.New(rand.NewSource(1))

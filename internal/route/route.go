@@ -287,6 +287,101 @@ func BFSAllNextHops(g *graph.Graph, dst int32) [][]int32 {
 	return out
 }
 
+// bfsTowardAvoiding computes, for every node, the hop distance TO dst along
+// forward arcs over the live subgraph: nodes for which deadNode returns true
+// and arcs for which deadLink returns true are excluded. Either predicate
+// may be nil. Distances are graph.Unreachable where no live path exists (in
+// particular everywhere when dst itself is dead).
+func bfsTowardAvoiding(g *graph.Graph, dst int32, deadNode func(int32) bool, deadLink func(u, v int32) bool) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = graph.Unreachable
+	}
+	if deadNode != nil && deadNode(dst) {
+		return dist
+	}
+	rev := g
+	if g.Directed {
+		rev = reverseOf(g)
+	}
+	dist[dst] = 0
+	queue := []int32{dst}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, u := range rev.Neighbors(v) {
+			if dist[u] != graph.Unreachable {
+				continue
+			}
+			if deadNode != nil && deadNode(u) {
+				continue
+			}
+			// The reverse arc v->u corresponds to the forward arc u->v.
+			if deadLink != nil && deadLink(u, v) {
+				continue
+			}
+			dist[u] = dv + 1
+			queue = append(queue, u)
+		}
+	}
+	return dist
+}
+
+// BFSNextHopsAvoiding is BFSNextHops restricted to the live subgraph: dead
+// nodes and dead links are routed around. Entries are -1 at the destination
+// and at nodes with no live path. This is the table-repair primitive of the
+// fault-adaptive simulator: after a failure notification the affected
+// tables are rebuilt against the surviving topology.
+func BFSNextHopsAvoiding(g *graph.Graph, dst int32, deadNode func(int32) bool, deadLink func(u, v int32) bool) NextHopTable {
+	dist := bfsTowardAvoiding(g, dst, deadNode, deadLink)
+	next := make(NextHopTable, g.N())
+	for i := range next {
+		next[i] = -1
+	}
+	for u := 0; u < g.N(); u++ {
+		du := dist[u]
+		if du <= 0 {
+			continue
+		}
+		for _, v := range g.Neighbors(int32(u)) {
+			if dist[v] != du-1 {
+				continue
+			}
+			if deadLink != nil && deadLink(int32(u), v) {
+				continue
+			}
+			next[u] = v
+			break
+		}
+	}
+	return next
+}
+
+// BFSAllNextHopsAvoiding is BFSAllNextHops restricted to the live subgraph:
+// for every node it lists ALL live minimal next hops toward dst (live
+// neighbors one step closer over live links). Nodes with no live path get an
+// empty list.
+func BFSAllNextHopsAvoiding(g *graph.Graph, dst int32, deadNode func(int32) bool, deadLink func(u, v int32) bool) [][]int32 {
+	dist := bfsTowardAvoiding(g, dst, deadNode, deadLink)
+	out := make([][]int32, g.N())
+	for u := 0; u < g.N(); u++ {
+		du := dist[u]
+		if du <= 0 {
+			continue
+		}
+		for _, v := range g.Neighbors(int32(u)) {
+			if dist[v] != du-1 {
+				continue
+			}
+			if deadLink != nil && deadLink(int32(u), v) {
+				continue
+			}
+			out[u] = append(out[u], v)
+		}
+	}
+	return out
+}
+
 // FoldedHypercube routes in FQ_dim: when the Hamming distance to the
 // destination exceeds (dim+1)/2 it is shorter to take the complement edge
 // first and correct the remaining complemented bits. The resulting path is

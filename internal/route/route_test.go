@@ -323,3 +323,150 @@ func TestFoldedHypercubeRouting(t *testing.T) {
 		}
 	}
 }
+
+func TestBFSNextHopsAvoiding(t *testing.T) {
+	g, err := networks.Hypercube{Dim: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No predicates: must agree hop-count-wise with the plain tables.
+	plain := BFSNextHops(g, 0)
+	avoid := BFSNextHopsAvoiding(g, 0, nil, nil)
+	for u := int32(0); u < int32(g.N()); u++ {
+		if (plain[u] < 0) != (avoid[u] < 0) {
+			t.Fatalf("node %d: reachability differs (%d vs %d)", u, plain[u], avoid[u])
+		}
+	}
+	// Kill node 1 (a neighbor of 0): routes must avoid it yet all other
+	// nodes stay routed (Q4 minus a node is connected).
+	deadNode := func(v int32) bool { return v == 1 }
+	avoid = BFSNextHopsAvoiding(g, 0, deadNode, nil)
+	dist := g.BFS(0)
+	for u := int32(0); u < int32(g.N()); u++ {
+		if u == 0 {
+			if avoid[u] != -1 {
+				t.Fatalf("destination has a next hop %d", avoid[u])
+			}
+			continue
+		}
+		if u == 1 {
+			continue
+		}
+		nh := avoid[u]
+		if nh < 0 {
+			t.Fatalf("node %d lost its route after one node fault", u)
+		}
+		if nh == 1 {
+			t.Fatalf("node %d routes through the dead node", u)
+		}
+		if !g.HasEdge(u, nh) {
+			t.Fatalf("next hop %d from %d is not an edge", nh, u)
+		}
+	}
+	// The detour around the dead node lengthens some route by at most 2
+	// in a hypercube: follow every table path and validate it.
+	for u := int32(2); u < int32(g.N()); u++ {
+		p, err := avoid.Follow(u, 0)
+		if err != nil {
+			t.Fatalf("follow from %d: %v", u, err)
+		}
+		if p.Hops() > int(dist[u])+2 {
+			t.Fatalf("avoiding route from %d has %d hops, fault-free %d", u, p.Hops(), dist[u])
+		}
+	}
+	// Dead destination: nothing is routed.
+	avoid = BFSNextHopsAvoiding(g, 0, func(v int32) bool { return v == 0 }, nil)
+	for u := range avoid {
+		if avoid[u] != -1 {
+			t.Fatalf("dead destination still routed from %d", u)
+		}
+	}
+}
+
+func TestBFSNextHopsAvoidingDeadLink(t *testing.T) {
+	// Ring: killing link 0-1 forces node 1 the long way around.
+	g, err := networks.Ring{Nodes: 8}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadLink := func(u, v int32) bool {
+		return (u == 0 && v == 1) || (u == 1 && v == 0)
+	}
+	tbl := BFSNextHopsAvoiding(g, 0, nil, deadLink)
+	if tbl[1] != 2 {
+		t.Fatalf("node 1 should detour via 2, got %d", tbl[1])
+	}
+	p, err := tbl.Follow(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 7 {
+		t.Fatalf("detour around the dead link should take 7 hops, got %d", p.Hops())
+	}
+	// Cutting both ring links of node 1 isolates it: no route, everyone
+	// else unaffected.
+	deadLink2 := func(u, v int32) bool {
+		return u == 1 || v == 1
+	}
+	tbl = BFSNextHopsAvoiding(g, 0, nil, deadLink2)
+	if tbl[1] != -1 {
+		t.Fatalf("isolated node still routed via %d", tbl[1])
+	}
+	if tbl[4] < 0 {
+		t.Fatal("unaffected node lost its route")
+	}
+}
+
+func TestBFSAllNextHopsAvoiding(t *testing.T) {
+	g, err := networks.Hypercube{Dim: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault-free: must equal BFSAllNextHops.
+	plain := BFSAllNextHops(g, 5)
+	avoid := BFSAllNextHopsAvoiding(g, 5, nil, nil)
+	for u := 0; u < g.N(); u++ {
+		if len(plain[u]) != len(avoid[u]) {
+			t.Fatalf("node %d: %d vs %d minimal hops", u, len(plain[u]), len(avoid[u]))
+		}
+	}
+	// Killing one neighbor of the destination trims it from every option
+	// list but leaves every survivor with at least one minimal hop.
+	dead := g.Neighbors(5)[0]
+	deadNode := func(v int32) bool { return v == dead }
+	avoid = BFSAllNextHopsAvoiding(g, 5, deadNode, nil)
+	for u := 0; u < g.N(); u++ {
+		if int32(u) == 5 || int32(u) == dead {
+			continue
+		}
+		if len(avoid[u]) == 0 {
+			t.Fatalf("node %d has no live minimal hop after one fault", u)
+		}
+		for _, v := range avoid[u] {
+			if v == dead {
+				t.Fatalf("node %d still lists the dead node", u)
+			}
+		}
+	}
+}
+
+func TestBFSNextHopsAvoidingDirected(t *testing.T) {
+	// Directed de Bruijn: the avoiding table must respect arc directions
+	// and the dead-arc predicate on forward arcs.
+	g, err := networks.DeBruijn{Base: 2, Dim: 4}.BuildDirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := BFSNextHopsAvoiding(g, 3, nil, nil)
+	for u := int32(0); u < int32(g.N()); u++ {
+		if u == 3 || tbl[u] < 0 {
+			continue
+		}
+		if !g.HasEdge(u, tbl[u]) {
+			t.Fatalf("next hop %d from %d is not a forward arc", tbl[u], u)
+		}
+		if _, err := tbl.Follow(u, 3); err != nil {
+			t.Fatalf("follow from %d: %v", u, err)
+		}
+	}
+}
