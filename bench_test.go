@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/networks"
+	"repro/internal/obs"
 	"repro/internal/superip"
 	"repro/internal/symbols"
 )
@@ -180,6 +181,98 @@ func BenchmarkNetsim(b *testing.B) {
 			InjectionRate: 0.005, WarmupCycles: 100, MeasureCycles: 1000,
 			Seed: int64(i),
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// netsimBench builds the BenchmarkNetsim system once per benchmark.
+func netsimBench(b *testing.B) (netsim.Config, *metrics.Partition) {
+	b.Helper()
+	net := superip.HSN(2, superip.NucleusHypercube(4))
+	g, ix, err := net.BuildWithIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	return netsim.Config{
+		Graph: g, Partition: &p, OffModulePeriod: 4,
+		InjectionRate: 0.005, WarmupCycles: 100, MeasureCycles: 1000,
+	}, &p
+}
+
+// fullProbe attaches every collector the obs package ships, so the probed
+// benchmarks price the observability layer at its most expensive.
+func fullProbe(cfg netsim.Config, p *metrics.Partition) obs.Probe {
+	return obs.Multi(
+		&obs.LatencyHist{},
+		obs.NewTimeSeries(cfg.Graph, p, 50),
+		&obs.Trace{SampleEvery: 16},
+	)
+}
+
+// BenchmarkRunUniform isolates one fault-free simulator run (the inner
+// loop of every latency sweep). Its Probed twin measures the same run with
+// all obs collectors attached; comparing the two prices the observability
+// layer. The nil-probe path must stay within noise of the pre-obs
+// simulator — the probe hooks all sit behind a single nil check.
+func BenchmarkRunUniform(b *testing.B) {
+	cfg, _ := netsimBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := netsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunUniformProbed(b *testing.B) {
+	cfg, p := netsimBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		cfg.Probe = fullProbe(cfg, p)
+		if _, err := netsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFaulty measures the degraded-mode simulator under a live
+// fault plan (reroutes, retransmissions, detours included).
+func BenchmarkRunFaulty(b *testing.B) {
+	cfg, _ := netsimBench(b)
+	plan, err := netsim.RandomFaults{
+		MTBF: 200, RepairTime: 300, Start: cfg.WarmupCycles,
+		Horizon: cfg.WarmupCycles + cfg.MeasureCycles, MaxFaults: 4, Seed: 1,
+	}.Plan(cfg.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := netsim.RunFaulty(cfg, netsim.FaultConfig{Plan: plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunFaultyProbed(b *testing.B) {
+	cfg, p := netsimBench(b)
+	plan, err := netsim.RandomFaults{
+		MTBF: 200, RepairTime: 300, Start: cfg.WarmupCycles,
+		Horizon: cfg.WarmupCycles + cfg.MeasureCycles, MaxFaults: 4, Seed: 1,
+	}.Plan(cfg.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		cfg.Probe = fullProbe(cfg, p)
+		if _, err := netsim.RunFaulty(cfg, netsim.FaultConfig{Plan: plan}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,12 +16,33 @@
 // between fault arrivals; -repair heals each fault after that many cycles
 // (0 = permanent). Faulty runs print loss/retransmission/reroute columns
 // and the latency inflation against the fault-free baseline.
+//
+// Observability (see internal/obs):
+//
+//	simulate -net HSN -l 2 -nucleus Q3 -hist -timeseries load.csv -toplinks 5
+//	simulate -net torus -rates 0.02 -trace trace.json -progress 500
+//
+// -hist adds p50/p95/p99 latency columns and prints an ASCII histogram per
+// run; -timeseries exports per-link load windows (.jsonl = JSON lines,
+// anything else CSV, with the per-module series written alongside);
+// -trace writes Chrome trace-event JSON (open in chrome://tracing or
+// Perfetto); -toplinks prints the busiest links after each run; -progress
+// emits a live ticker to stderr; -pprof serves net/http/pprof plus expvar
+// counters (sim_cycle, sim_injected, sim_delivered) while runs execute.
+// When the sweep covers several ratio x rate combinations, output
+// filenames get a -r<ratio>-p<rate> suffix so runs don't clobber each
+// other.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -29,8 +50,36 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/networks"
+	"repro/internal/obs"
 	"repro/internal/superip"
 )
+
+// expvarProbe mirrors run progress into expvar counters so a -pprof
+// listener exposes them at /debug/vars alongside the profiler.
+type expvarProbe struct {
+	obs.NopProbe
+	cycle, injected, delivered *expvar.Int
+}
+
+func newExpvarProbe() *expvarProbe {
+	return &expvarProbe{
+		cycle:     expvar.NewInt("sim_cycle"),
+		injected:  expvar.NewInt("sim_injected"),
+		delivered: expvar.NewInt("sim_delivered"),
+	}
+}
+
+func (p *expvarProbe) reset() {
+	p.cycle.Set(0)
+	p.injected.Set(0)
+	p.delivered.Set(0)
+}
+
+func (p *expvarProbe) Tick(cycle int) { p.cycle.Set(int64(cycle)) }
+
+func (p *expvarProbe) Inject(int, int64, int32, int32, bool) { p.injected.Add(1) }
+
+func (p *expvarProbe) Deliver(int, int64, int32, int, bool) { p.delivered.Add(1) }
 
 func main() {
 	var (
@@ -50,8 +99,28 @@ func main() {
 		mtbf    = flag.Float64("mtbf", 250, "mean cycles between fault arrivals")
 		repair  = flag.Int("repair", 0, "cycles until a fault heals (0 = permanent)")
 		nodeFrc = flag.Float64("nodefaults", 0, "fraction of faults that kill a node instead of a link")
+
+		histOn    = flag.Bool("hist", false, "collect latency histograms: adds p50/p95/p99 columns and prints an ASCII histogram per run")
+		tsFile    = flag.String("timeseries", "", "write per-link load windows to this file (.jsonl = JSON lines, else CSV with a .modules.csv sibling)")
+		tsEvery   = flag.Int("sample", 50, "time-series sample window, in cycles")
+		traceFile = flag.String("trace", "", "write Chrome trace-event JSON of sampled packet lifecycles to this file")
+		traceNth  = flag.Int("tracesample", 64, "trace every n-th packet (1 = every packet)")
+		topLinks  = flag.Int("toplinks", 0, "after each run, print the n busiest links")
+		progress  = flag.Int("progress", 0, "print a live progress line to stderr every n cycles")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	var ev *expvarProbe
+	if *pprofAddr != "" {
+		ev = newExpvarProbe()
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "simulate: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	g, part, name, err := buildSystem(*netName, *l, *nucleus, *dim, *module, *rows, *cols)
 	exitIf(err)
@@ -77,15 +146,48 @@ func main() {
 			plan.Len(), *mtbf, *repair, *nodeFrc)
 	}
 
-	if plan == nil {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-8s\n",
-			"ratio", "rate", "injected", "delivered", "avg-lat", "max-lat")
-	} else {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-6s %-10s %-9s %-9s %-9s\n",
-			"ratio", "rate", "injected", "delivered", "lost", "retx", "avg-lat", "lat-infl", "reroutes", "detours")
+	histCols := ""
+	if *histOn {
+		histCols = fmt.Sprintf(" %-8s %-8s %-8s", "p50", "p95", "p99")
 	}
-	for _, ratio := range parseInts(*ratios) {
-		for _, rate := range parseFloats(*rates) {
+	if plan == nil {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s%s\n",
+			"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat", histCols)
+	} else {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
+			"ratio", "rate", "injected", "delivered", "lost", "expired", "retx", "avg-lat", "lat-infl", "reroutes", "detours", histCols)
+	}
+	ratioList, rateList := parseInts(*ratios), parseFloats(*rates)
+	multi := len(ratioList)*len(rateList) > 1
+	for _, ratio := range ratioList {
+		for _, rate := range rateList {
+			// Assemble the run's probes. Every collector is optional;
+			// obs.Multi collapses to nil when none are requested, keeping
+			// the simulator on its no-observer fast path.
+			var probes []obs.Probe
+			var lh *obs.LatencyHist
+			if *histOn {
+				lh = &obs.LatencyHist{}
+				probes = append(probes, lh)
+			}
+			var ts *obs.TimeSeries
+			if *tsFile != "" || *topLinks > 0 {
+				ts = obs.NewTimeSeries(g, &part, *tsEvery)
+				probes = append(probes, ts)
+			}
+			var tr *obs.Trace
+			if *traceFile != "" {
+				tr = &obs.Trace{SampleEvery: *traceNth}
+				probes = append(probes, tr)
+			}
+			if *progress > 0 {
+				probes = append(probes, &obs.Progress{Every: *progress, W: os.Stderr})
+			}
+			if ev != nil {
+				ev.reset()
+				probes = append(probes, ev)
+			}
+
 			cfg := netsim.Config{
 				Graph:           g,
 				Partition:       &part,
@@ -94,21 +196,88 @@ func main() {
 				WarmupCycles:    *warmup,
 				MeasureCycles:   *cycles,
 				Seed:            *seed,
+				Probe:           obs.Multi(probes...),
 			}
 			if plan == nil {
 				st, err := netsim.Run(cfg)
 				exitIf(err)
-				fmt.Printf("%-8d %-8.4f %-10d %-10d %-10.2f %-8d\n",
-					ratio, rate, st.Injected, st.Delivered, st.AvgLatency, st.MaxLatency)
-				continue
+				fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
+					ratio, rate, st.Injected, st.Delivered, st.Expired,
+					st.AvgLatency, st.MaxLatency, quantileCols(*histOn, st.P50Latency, st.P95Latency, st.P99Latency))
+			} else {
+				fs, _, err := netsim.RunFaultyWithBaseline(cfg, netsim.FaultConfig{Plan: plan})
+				exitIf(err)
+				fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9.2f %-9d %-9d%s\n",
+					ratio, rate, fs.Injected, fs.Delivered, fs.Lost, fs.Expired, fs.Retransmitted,
+					fs.AvgLatency, fs.LatencyInflation, fs.RerouteEvents, fs.MisroutedHops,
+					quantileCols(*histOn, fs.P50Latency, fs.P95Latency, fs.P99Latency))
 			}
-			fs, _, err := netsim.RunFaultyWithBaseline(cfg, netsim.FaultConfig{Plan: plan})
-			exitIf(err)
-			fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-6d %-10.2f %-9.2f %-9d %-9d\n",
-				ratio, rate, fs.Injected, fs.Delivered, fs.Lost, fs.Retransmitted,
-				fs.AvgLatency, fs.LatencyInflation, fs.RerouteEvents, fs.MisroutedHops)
+			exportRun(lh, ts, tr, *tsFile, *traceFile, *topLinks, ratio, rate, multi)
 		}
 	}
+}
+
+func quantileCols(on bool, p50, p95, p99 float64) string {
+	if !on {
+		return ""
+	}
+	return fmt.Sprintf(" %-8.1f %-8.1f %-8.1f", p50, p95, p99)
+}
+
+// exportRun writes whatever collectors the run carried. With a multi-run
+// sweep, filenames gain a -r<ratio>-p<rate> suffix before the extension.
+func exportRun(lh *obs.LatencyHist, ts *obs.TimeSeries, tr *obs.Trace,
+	tsFile, traceFile string, topLinks, ratio int, rate float64, multi bool) {
+	if lh != nil && lh.Count() > 0 {
+		exitIf(lh.WriteText(os.Stdout))
+	}
+	if ts != nil {
+		ts.Flush()
+		if tsFile != "" {
+			name := suffixed(tsFile, ratio, rate, multi)
+			if strings.HasSuffix(name, ".jsonl") {
+				exitIf(writeTo(name, ts.WriteJSONL))
+			} else {
+				exitIf(writeTo(name, ts.WriteCSV))
+				ext := filepath.Ext(name)
+				exitIf(writeTo(strings.TrimSuffix(name, ext)+".modules"+ext, ts.WriteModulesCSV))
+			}
+		}
+		if topLinks > 0 {
+			fmt.Printf("top %d links by busy cycles:\n", topLinks)
+			for _, l := range ts.TopLinks(topLinks) {
+				kind := "on-module "
+				if l.OffModule {
+					kind = "off-module"
+				}
+				fmt.Printf("  %4d -> %-4d %s  hops %-7d busy %-8d util %.3f\n",
+					l.U, l.V, kind, l.Hops, l.Busy, l.Util)
+			}
+		}
+	}
+	if tr != nil && traceFile != "" {
+		exitIf(writeTo(suffixed(traceFile, ratio, rate, multi), tr.WriteJSON))
+	}
+}
+
+func suffixed(name string, ratio int, rate float64, multi bool) string {
+	if !multi {
+		return name
+	}
+	ext := filepath.Ext(name)
+	return fmt.Sprintf("%s-r%d-p%g%s", strings.TrimSuffix(name, ext), ratio, rate, ext)
+}
+
+func writeTo(name string, write func(io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildSystem(name string, l int, nucleus string, dim, module, rows, cols int) (*graph.Graph, metrics.Partition, string, error) {

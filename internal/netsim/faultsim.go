@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/route"
 )
 
@@ -90,7 +91,8 @@ type FaultStats struct {
 	// RerouteEvents counts per-destination next-hop table rebuilds
 	// triggered by fault/repair notifications.
 	RerouteEvents int
-	// MeanTimeToReroute is the mean number of cycles between a topology
+	// MeanTimeToReroute is the mean number of cycles (simulator cycles,
+	// the same unit as latencies and NotifyDelay) between a topology
 	// change and the (lazy, notification-delayed) rebuild of a table that
 	// change invalidated.
 	MeanTimeToReroute float64
@@ -140,6 +142,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		return FaultStats{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	pb := cfg.Probe // nil-check fast path, as in Run
 
 	// ---- topology liveness (reference-counted for overlapping faults) ----
 	nodeDownCnt := make([]int, n)
@@ -164,9 +167,9 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 
 	// Scheduled events, bucketed by cycle.
 	type topoChange struct {
-		kind  FaultKind
-		u, v  int32
-		down  bool
+		kind FaultKind
+		u, v int32
+		down bool
 	}
 	changesAt := map[int][]topoChange{}
 	for _, e := range fc.Plan.sorted() {
@@ -193,7 +196,11 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		if built {
 			// The first change this table missed began epoch tableEpoch+1.
 			st.RerouteEvents++
-			rerouteLagSum += int64(now - epochCycle[tableEpoch[dst]+1])
+			lag := now - epochCycle[tableEpoch[dst]+1]
+			rerouteLagSum += int64(lag)
+			if pb != nil {
+				pb.Reroute(now, dst, lag)
+			}
 		}
 		if cfg.Adaptive {
 			allTables[dst] = route.BFSAllNextHopsAvoiding(g, dst, nodeDead, linkDead)
@@ -227,6 +234,9 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		}
 		// Detour: misroute to a random live neighbor.
 		if p.ttl <= 0 {
+			if pb != nil {
+				pb.Drop(now, int64(p.seq), at, obs.DropTTL)
+			}
 			return 0, false
 		}
 		adj := g.Neighbors(at)
@@ -237,6 +247,9 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 			}
 		}
 		if len(live) == 0 {
+			if pb != nil {
+				pb.Drop(now, int64(p.seq), at, obs.DropNoRoute)
+			}
 			return 0, false
 		}
 		p.ttl--
@@ -275,9 +288,12 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		t := route.BFSNextHopsAvoiding(g, dst, nodeDead, linkDead)
 		return t[src] >= 0
 	}
-	abandon := func(seq int32) {
+	abandon := func(now int, seq int32) {
 		f := &flows[seq]
 		f.done = true
+		if pb != nil {
+			pb.Drop(now, int64(seq), f.src, obs.DropAbandoned)
+		}
 		if !f.measured {
 			return
 		}
@@ -297,39 +313,60 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 				if f.measured {
 					st.Duplicates++
 				}
+				if pb != nil {
+					pb.Drop(now, int64(pkt.seq), at, obs.DropDuplicate)
+				}
 				return
 			}
 			f.done = true
+			lat := now - f.born
 			if f.measured {
 				st.Delivered++
 				outstandingMeasured--
-				lat := now - f.born
 				latencySum += int64(lat)
 				if lat > st.MaxLatency {
 					st.MaxLatency = lat
 				}
 			}
+			if pb != nil {
+				pb.Deliver(now, int64(pkt.seq), at, lat, f.measured)
+			}
 			return
 		}
 		if pkt.hops >= hopLimit { // livelock watchdog
+			if pb != nil {
+				pb.Drop(now, int64(pkt.seq), at, obs.DropHopLimit)
+			}
 			return
 		}
 		nh, ok := nextHop(at, &pkt, now)
 		if !ok {
 			return // copy dropped; the source timeout recovers the flow
 		}
-		links[at][slotOf[at][nh]].queue = append(links[at][slotOf[at][nh]].queue, pkt)
+		q := &links[at][slotOf[at][nh]].queue
+		*q = append(*q, pkt)
+		if pb != nil {
+			pb.Enqueue(now, int64(pkt.seq), at, nh, len(*q))
+		}
 	}
 
 	applyChange := func(now int, c topoChange) {
 		switch c.kind {
 		case NodeFault:
+			if pb != nil {
+				pb.Fault(now, c.u, -1, true, c.down)
+			}
 			if c.down {
 				nodeDownCnt[c.u]++
 				st.FaultsInjected++
 				if nodeDownCnt[c.u] == 1 {
 					// Everything queued at the dead node is lost.
 					for s := range links[c.u] {
+						if pb != nil {
+							for _, pkt := range links[c.u][s].queue {
+								pb.Drop(now, int64(pkt.seq), c.u, obs.DropQueueKilled)
+							}
+						}
 						links[c.u][s].queue = links[c.u][s].queue[:0]
 					}
 				}
@@ -338,6 +375,9 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 				st.FaultsRepaired++
 			}
 		case LinkFault:
+			if pb != nil {
+				pb.Fault(now, c.u, c.v, false, c.down)
+			}
 			mark := func(a, b int32) {
 				lk := &links[a][slotOf[a][b]]
 				if c.down {
@@ -369,6 +409,9 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	deadline := total + cfg.DrainCycles
 	for now := 0; now < deadline; now++ {
+		if pb != nil {
+			pb.Tick(now)
+		}
 		// 1. Apply scheduled topology changes.
 		if cs, hit := changesAt[now]; hit {
 			for _, c := range cs {
@@ -384,6 +427,9 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		slot := now % len(ring)
 		for _, a := range ring[slot] {
 			if nodeDead(a.node) {
+				if pb != nil {
+					pb.Drop(now, int64(a.pkt.seq), a.node, obs.DropDeadRouter)
+				}
 				continue // arrived at a dead router: copy lost
 			}
 			enqueue(now, a.node, a.pkt)
@@ -397,12 +443,15 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 					continue
 				}
 				if fc.MaxRetries < 0 || f.attempt >= fc.MaxRetries {
-					abandon(seq)
+					abandon(now, seq)
 					continue
 				}
 				f.attempt++
 				if f.measured {
 					st.Retransmitted++
+				}
+				if pb != nil {
+					pb.Retransmit(now, int64(seq), f.src, f.attempt)
 				}
 				f.timeout *= 2
 				retryAt[now+f.timeout] = append(retryAt[now+f.timeout], seq)
@@ -433,6 +482,9 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 					st.Injected++
 					outstandingMeasured++
 				}
+				if pb != nil {
+					pb.Inject(now, int64(seq), int32(u), dst, measured)
+				}
 				retryAt[now+fc.RetransmitTimeout] = append(retryAt[now+fc.RetransmitTimeout], seq)
 				enqueue(now, int32(u), fpacket{dst: dst, seq: seq, ttl: maxInt(fc.DetourTTL, 0), measured: measured})
 			}
@@ -460,14 +512,21 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 				if cfg.CutThrough {
 					delay = p
 				}
+				if pb != nil {
+					pb.Hop(now, int64(pkt.seq), int32(u), adj[s], occupy, len(lk.queue))
+				}
 				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
 			}
 		}
 	}
-	// Flows still pending at the deadline are lost.
+	// Flows still pending at the deadline are lost; the measured ones are
+	// the drain-deadline expiries (a subset of Lost).
 	for seq := range flows {
 		if !flows[seq].done {
-			abandon(int32(seq))
+			if flows[seq].measured {
+				st.Expired++
+			}
+			abandon(deadline, int32(seq))
 		}
 	}
 	if st.Delivered > 0 {
@@ -479,6 +538,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 	if cfg.MeasureCycles > 0 {
 		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
 	}
+	st.fillQuantiles(pb)
 	return st, nil
 }
 
@@ -493,7 +553,11 @@ type faultLink struct {
 // (RunFaulty), and returns the degraded stats with LatencyInflation filled
 // in as faulty/baseline average latency, plus the baseline itself.
 func RunFaultyWithBaseline(cfg Config, fc FaultConfig) (FaultStats, Stats, error) {
-	base, err := Run(cfg)
+	// The baseline is a reference run: detach any probe so collectors see
+	// only the faulty run's traffic.
+	baseCfg := cfg
+	baseCfg.Probe = nil
+	base, err := Run(baseCfg)
 	if err != nil {
 		return FaultStats{}, Stats{}, err
 	}

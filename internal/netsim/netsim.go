@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/route"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 	// Must return >= 1 for every link of the graph; Run validates this up
 	// front and returns an error on violation.
 	PeriodFunc func(u, v int32) int
+	// Probe, when non-nil, receives per-event callbacks during the run
+	// (injection, queueing, transmission, delivery, drops, retransmission,
+	// faults, reroutes) — see internal/obs for the hook contract and the
+	// built-in collectors. A nil Probe costs nothing: every hook sits
+	// behind a nil check, and an uninstrumented run reproduces its Stats
+	// bit for bit. Probes must not mutate simulator state.
+	Probe obs.Probe
 }
 
 // normalize applies defaults and validates the configuration. It is shared
@@ -187,15 +195,42 @@ type Stats struct {
 	// window); Delivered counts those that reached their destination before
 	// the drain deadline.
 	Injected, Delivered int
+	// Expired counts measured packets still in flight when the drain
+	// deadline hit; Injected == Delivered + Expired for fault-free runs.
+	// (For faulty runs the analogous deadline losses are a subset of
+	// FaultStats.Lost — see that field.)
+	Expired int
 	// AvgLatency is the mean delivery latency (cycles) of measured packets.
 	AvgLatency float64
 	// MaxLatency is the worst delivery latency observed.
 	MaxLatency int
+	// P50Latency, P95Latency and P99Latency are delivery-latency quantiles
+	// in cycles (log-bucket interpolated), filled only when the run's
+	// Probe carries a latency histogram (obs.LatencyHist, possibly inside
+	// obs.Multi); zero otherwise.
+	P50Latency, P95Latency, P99Latency float64
 	// Throughput is delivered measured packets per node per cycle.
 	Throughput float64
 }
 
+// LatencySummary is the optional interface a Probe implements to surface
+// latency quantiles in Stats; obs.LatencyHist and obs.Multi satisfy it.
+type LatencySummary interface {
+	LatencyQuantile(q float64) float64
+}
+
+// fillQuantiles copies p50/p95/p99 out of the probe's histogram, when the
+// probe carries one.
+func (st *Stats) fillQuantiles(p obs.Probe) {
+	if h, ok := p.(LatencySummary); ok {
+		st.P50Latency = h.LatencyQuantile(0.50)
+		st.P95Latency = h.LatencyQuantile(0.95)
+		st.P99Latency = h.LatencyQuantile(0.99)
+	}
+}
+
 type packet struct {
+	id       int64
 	dst      int32
 	born     int
 	measured bool
@@ -273,16 +308,20 @@ func Run(cfg Config) (Stats, error) {
 	ring := make([][]arrival, maxDelay+1)
 
 	st := Stats{}
+	pb := cfg.Probe // nil-check fast path: no obs code runs uninstrumented
 	var latencySum int64
 	enqueue := func(now int, at int32, pkt packet) error {
 		if pkt.dst == at {
+			lat := now - pkt.born
 			if pkt.measured {
 				st.Delivered++
-				lat := now - pkt.born
 				latencySum += int64(lat)
 				if lat > st.MaxLatency {
 					st.MaxLatency = lat
 				}
+			}
+			if pb != nil {
+				pb.Deliver(now, pkt.id, at, lat, pkt.measured)
 			}
 			return nil
 		}
@@ -292,13 +331,20 @@ func Run(cfg Config) (Stats, error) {
 		}
 		slot := slotOf[at][nh]
 		links[at][slot].queue = append(links[at][slot].queue, pkt)
+		if pb != nil {
+			pb.Enqueue(now, pkt.id, at, nh, len(links[at][slot].queue))
+		}
 		return nil
 	}
 
 	inFlightMeasured := 0
+	var nextID int64
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	deadline := total + cfg.DrainCycles
 	for now := 0; now < deadline; now++ {
+		if pb != nil {
+			pb.Tick(now)
+		}
 		// Deliver arrivals scheduled for this cycle.
 		slot := now % len(ring)
 		for _, a := range ring[slot] {
@@ -323,7 +369,12 @@ func Run(cfg Config) (Stats, error) {
 						st.Injected++
 						inFlightMeasured++
 					}
-					if err := enqueue(now, int32(u), packet{dst: dst, born: now, measured: measured}); err != nil {
+					id := nextID
+					nextID++
+					if pb != nil {
+						pb.Inject(now, id, int32(u), dst, measured)
+					}
+					if err := enqueue(now, int32(u), packet{id: id, dst: dst, born: now, measured: measured}); err != nil {
 						return st, err
 					}
 				}
@@ -348,16 +399,21 @@ func Run(cfg Config) (Stats, error) {
 				if cfg.CutThrough {
 					delay = p // head proceeds while the tail drains
 				}
+				if pb != nil {
+					pb.Hop(now, pkt.id, int32(u), adj[s], occupy, len(lk.queue))
+				}
 				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
 			}
 		}
 	}
+	st.Expired = inFlightMeasured
 	if st.Delivered > 0 {
 		st.AvgLatency = float64(latencySum) / float64(st.Delivered)
 	}
 	if cfg.MeasureCycles > 0 {
 		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
 	}
+	st.fillQuantiles(pb)
 	return st, nil
 }
 

@@ -444,4 +444,82 @@ func TestSaturationErrors(t *testing.T) {
 	if _, _, err := Saturation(Config{Graph: g}, 0.5, 0, 3); err == nil {
 		t.Fatal("bad accept must fail")
 	}
+	if _, _, err := Saturation(Config{Graph: g}, 1.5, 0.9, 3); err == nil {
+		t.Fatal("hi > 1 must fail")
+	}
+	if _, _, err := Saturation(Config{Graph: g}, 0.5, 1.5, 3); err == nil {
+		t.Fatal("accept > 1 must fail")
+	}
+	if _, _, err := Saturation(Config{Graph: g}, -0.1, 0.9, 3); err == nil {
+		t.Fatal("negative hi must fail")
+	}
+}
+
+func TestSaturationBoundaryAcceptFractions(t *testing.T) {
+	// accept = 1 (every measured packet must drain) and hi = 1 are the
+	// boundary of the valid parameter space; both must search successfully
+	// and uphold the acceptance criterion at the returned rate.
+	g, err := networks.Hypercube{Dim: 5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, best, err := Saturation(Config{Graph: g, WarmupCycles: 100,
+		MeasureCycles: 800, Seed: 19}, 1, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatal("Q5 must sustain some load at accept = 1")
+	}
+	if best.Delivered != best.Injected {
+		t.Fatalf("accept = 1 returned a rate that loses packets: %+v", best)
+	}
+}
+
+func TestSaturationHiBelowSaturation(t *testing.T) {
+	// When the whole [0, hi] range is sustainable, the binary search must
+	// converge to (nearly) hi itself rather than stall low.
+	g, err := networks.Hypercube{Dim: 6}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hi = 0.01 // far below Q6 saturation
+	rate, best, err := Saturation(Config{Graph: g, WarmupCycles: 100,
+		MeasureCycles: 800, Seed: 19}, hi, 0.9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < hi*(1-1.0/64)-1e-12 {
+		t.Fatalf("sustainable range [0,%v] but search stopped at %v", hi, rate)
+	}
+	if float64(best.Delivered) < 0.9*float64(best.Injected) {
+		t.Fatalf("returned stats violate the acceptance criterion: %+v", best)
+	}
+}
+
+func TestSaturationBestStatsMatchDirectRun(t *testing.T) {
+	// The best Stats returned by the search must be exactly the Stats of a
+	// direct Run at the returned rate (same config, same short drain).
+	g, err := networks.Torus2D{Rows: 8, Cols: 8}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Graph: g, WarmupCycles: 150, MeasureCycles: 1000, Seed: 27}
+	rate, best, err := Saturation(cfg, 0.9, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate == 0 {
+		t.Fatal("torus must sustain some load")
+	}
+	direct := cfg
+	direct.InjectionRate = rate
+	direct.DrainCycles = 100 // the search's short-drain override
+	st, err := Run(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != best {
+		t.Fatalf("best stats do not reproduce at the returned rate:\nsearch %+v\ndirect %+v", best, st)
+	}
 }

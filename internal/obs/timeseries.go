@@ -1,0 +1,282 @@
+// Per-link and per-module time series. The collector watches Enqueue/Hop
+// events to maintain, for every directed link, the current queue depth and
+// the busy cycles accumulated in the current sample window, and snapshots
+// them every Every cycles. Busy time is attributed to the window in which a
+// transmission starts, so summing the exported busy columns over all windows
+// exactly reproduces the total link occupancy of the run (no truncation at
+// window boundaries) — the invariant the consistency tests rely on.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// TimeSeries samples per-link (and, with a partition, per-module) load
+// every Every cycles. Create with NewTimeSeries, attach as the run's Probe,
+// then Flush and export.
+type TimeSeries struct {
+	NopProbe
+	every int
+	part  *metrics.Partition
+
+	src, dst []int32       // per link index
+	off      []bool        // off-module link?
+	idx      map[int64]int // (u<<32 | v) -> link index
+	qlen     []int         // current queue depth
+	winBusy  []int64       // busy cycles accumulated this window
+	busy     []int64       // total busy cycles
+	hops     []int64       // total transmissions
+	moduleOf []int32       // nil without a partition
+
+	lastTick   int
+	lastSample int
+	flushed    bool
+
+	linkRows   []linkRow
+	moduleRows []moduleRow
+}
+
+type linkRow struct {
+	cycle, width int // window is [cycle-width, cycle)
+	link         int
+	qlen         int
+	busy         int64
+}
+
+type moduleRow struct {
+	cycle, width int
+	module       int32
+	qlen         int // packets queued on off-module links out of the module
+	busy         int64
+}
+
+// LinkLoad summarizes one directed link over the whole run.
+type LinkLoad struct {
+	U, V      int32
+	OffModule bool
+	Hops      int64   // transmissions carried
+	Busy      int64   // cycles the link was occupied
+	Util      float64 // Busy / observed cycles
+}
+
+// NewTimeSeries builds a collector for graph g sampling every `every`
+// cycles (values < 1 are clamped to 1). part may be nil; with a partition
+// the collector also tracks per-module off-module occupancy and flags
+// off-module links in exports.
+func NewTimeSeries(g *graph.Graph, part *metrics.Partition, every int) *TimeSeries {
+	if every < 1 {
+		every = 1
+	}
+	ts := &TimeSeries{every: every, part: part, idx: map[int64]int{}}
+	if part != nil {
+		ts.moduleOf = part.Of
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			ts.idx[int64(u)<<32|int64(v)] = len(ts.src)
+			ts.src = append(ts.src, int32(u))
+			ts.dst = append(ts.dst, v)
+			ts.off = append(ts.off, part != nil && part.Of[u] != part.Of[v])
+		}
+	}
+	m := len(ts.src)
+	ts.qlen = make([]int, m)
+	ts.winBusy = make([]int64, m)
+	ts.busy = make([]int64, m)
+	ts.hops = make([]int64, m)
+	return ts
+}
+
+func (ts *TimeSeries) link(u, v int32) (int, bool) {
+	i, ok := ts.idx[int64(u)<<32|int64(v)]
+	return i, ok
+}
+
+// Tick snapshots a window whenever the sample period elapses (Probe hook).
+func (ts *TimeSeries) Tick(cycle int) {
+	ts.lastTick = cycle
+	if cycle > ts.lastSample && cycle%ts.every == 0 {
+		ts.snapshot(cycle)
+	}
+}
+
+// Enqueue tracks queue growth (Probe hook).
+func (ts *TimeSeries) Enqueue(_ int, _ int64, at, next int32, qlen int) {
+	if i, ok := ts.link(at, next); ok {
+		ts.qlen[i] = qlen
+	}
+}
+
+// Hop tracks transmissions and link occupancy (Probe hook).
+func (ts *TimeSeries) Hop(_ int, _ int64, from, to int32, occupy, qlen int) {
+	if i, ok := ts.link(from, to); ok {
+		ts.qlen[i] = qlen
+		ts.winBusy[i] += int64(occupy)
+		ts.busy[i] += int64(occupy)
+		ts.hops[i]++
+	}
+}
+
+func (ts *TimeSeries) snapshot(cycle int) {
+	width := cycle - ts.lastSample
+	if width <= 0 {
+		return
+	}
+	var modQ map[int32]int
+	var modBusy map[int32]int64
+	if ts.moduleOf != nil {
+		modQ = map[int32]int{}
+		modBusy = map[int32]int64{}
+	}
+	for i := range ts.src {
+		if ts.qlen[i] != 0 || ts.winBusy[i] != 0 {
+			ts.linkRows = append(ts.linkRows, linkRow{cycle: cycle, width: width,
+				link: i, qlen: ts.qlen[i], busy: ts.winBusy[i]})
+		}
+		if ts.off[i] && ts.moduleOf != nil {
+			m := ts.moduleOf[ts.src[i]]
+			modQ[m] += ts.qlen[i]
+			modBusy[m] += ts.winBusy[i]
+		}
+		ts.winBusy[i] = 0
+	}
+	if ts.moduleOf != nil && ts.part != nil {
+		for m := int32(0); int(m) < ts.part.K; m++ {
+			if modQ[m] != 0 || modBusy[m] != 0 {
+				ts.moduleRows = append(ts.moduleRows, moduleRow{cycle: cycle,
+					width: width, module: m, qlen: modQ[m], busy: modBusy[m]})
+			}
+		}
+	}
+	ts.lastSample = cycle
+}
+
+// Flush snapshots the final partial window so that the exported busy
+// columns sum to the total link occupancy of the run. Call once after the
+// run; further calls are no-ops.
+func (ts *TimeSeries) Flush() {
+	if ts.flushed {
+		return
+	}
+	ts.flushed = true
+	ts.snapshot(ts.lastTick + 1)
+}
+
+// ObservedCycles returns how many cycles the run simulated (as seen by
+// Tick), the denominator of the overall utilizations.
+func (ts *TimeSeries) ObservedCycles() int { return ts.lastTick + 1 }
+
+// TotalBusy returns the summed busy cycles over all links, which for a
+// period-1 single-flit run equals the total number of hops taken by all
+// packets (measured or not).
+func (ts *TimeSeries) TotalBusy() int64 {
+	var sum int64
+	for _, b := range ts.busy {
+		sum += b
+	}
+	return sum
+}
+
+// TopLinks returns the n busiest directed links (by total busy cycles),
+// hottest first — the "where does queueing happen" summary. n <= 0 or n
+// larger than the link count returns all links.
+func (ts *TimeSeries) TopLinks(n int) []LinkLoad {
+	order := make([]int, len(ts.src))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ts.busy[order[a]] != ts.busy[order[b]] {
+			return ts.busy[order[a]] > ts.busy[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if n <= 0 || n > len(order) {
+		n = len(order)
+	}
+	cycles := float64(ts.ObservedCycles())
+	out := make([]LinkLoad, 0, n)
+	for _, i := range order[:n] {
+		util := 0.0
+		if cycles > 0 {
+			util = float64(ts.busy[i]) / cycles
+		}
+		out = append(out, LinkLoad{U: ts.src[i], V: ts.dst[i], OffModule: ts.off[i],
+			Hops: ts.hops[i], Busy: ts.busy[i], Util: util})
+	}
+	return out
+}
+
+// WriteCSV exports the per-link series: one row per (window, active link)
+// with the window-end cycle, window width, link endpoints, the off-module
+// flag, the sampled queue depth, the busy cycles accumulated in the window,
+// and the window utilization busy/width (which can exceed 1 when a
+// multi-cycle transmission starts near the window end — occupancy is
+// attributed to the starting window so the columns sum exactly). Links idle
+// through a whole window are omitted.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,width,src,dst,offmodule,queue,busy,util"); err != nil {
+		return err
+	}
+	for _, r := range ts.linkRows {
+		i := r.link
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%t,%d,%d,%.4f\n",
+			r.cycle, r.width, ts.src[i], ts.dst[i], ts.off[i], r.qlen, r.busy,
+			float64(r.busy)/float64(r.width)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteModulesCSV exports the per-module off-module occupancy series: for
+// every window and module, the total queue depth and busy cycles of the
+// module's outgoing off-module links. Requires a partition; without one it
+// writes only the header.
+func (ts *TimeSeries) WriteModulesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,width,module,offqueue,offbusy,offutil"); err != nil {
+		return err
+	}
+	for _, r := range ts.moduleRows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.4f\n",
+			r.cycle, r.width, r.module, r.qlen, r.busy,
+			float64(r.busy)/float64(r.width)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL exports both series as JSON lines, links ("kind":"link") then
+// modules ("kind":"module"), for downstream tooling that prefers streaming
+// JSON over CSV.
+func (ts *TimeSeries) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range ts.linkRows {
+		i := r.link
+		if err := enc.Encode(map[string]any{
+			"kind": "link", "cycle": r.cycle, "width": r.width,
+			"src": ts.src[i], "dst": ts.dst[i], "offmodule": ts.off[i],
+			"queue": r.qlen, "busy": r.busy,
+			"util": float64(r.busy) / float64(r.width),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, r := range ts.moduleRows {
+		if err := enc.Encode(map[string]any{
+			"kind": "module", "cycle": r.cycle, "width": r.width,
+			"module": r.module, "offqueue": r.qlen, "offbusy": r.busy,
+			"offutil": float64(r.busy) / float64(r.width),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
