@@ -24,6 +24,7 @@ import (
 
 func benchTable(b *testing.B, gen func() (*figures.Table, error)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab, err := gen()
 		if err != nil {
@@ -92,6 +93,7 @@ func BenchmarkIDegreeTable(b *testing.B) { benchTable(b, figures.IDegreeTable) }
 
 // BenchmarkBuildHSN3Q4 enumerates the 4096-node HSN(3;Q4) state space.
 func BenchmarkBuildHSN3Q4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		net := superip.HSN(3, superip.NucleusHypercube(4))
 		if _, err := net.Build(); err != nil {
@@ -108,6 +110,7 @@ func BenchmarkAllPairsHSN3Q4(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.AllPairs()
@@ -123,6 +126,7 @@ func BenchmarkIStatsCN3Q4(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = metrics.IStats(g, p)
@@ -140,6 +144,7 @@ func BenchmarkRouting(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := ix.Label(int32(i % ix.N()))
@@ -154,6 +159,7 @@ func BenchmarkRouting(b *testing.B) {
 // check (Section 3.2's embedding claim): Q6 into HSN(2;Q3), every guest
 // edge validated.
 func BenchmarkEmbedding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := embed.ProductIntoHSN(superip.HSN(2, superip.NucleusHypercube(3)))
 		if err != nil {
@@ -174,6 +180,7 @@ func BenchmarkNetsim(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := netsim.Run(netsim.Config{
@@ -218,6 +225,7 @@ func fullProbe(cfg netsim.Config, p *metrics.Partition) obs.Probe {
 // simulator — the probe hooks all sit behind a single nil check.
 func BenchmarkRunUniform(b *testing.B) {
 	cfg, _ := netsimBench(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -229,6 +237,7 @@ func BenchmarkRunUniform(b *testing.B) {
 
 func BenchmarkRunUniformProbed(b *testing.B) {
 	cfg, p := netsimBench(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -250,6 +259,7 @@ func BenchmarkRunFaulty(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -268,6 +278,7 @@ func BenchmarkRunFaultyProbed(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
@@ -283,6 +294,7 @@ func BenchmarkRunFaultyProbed(b *testing.B) {
 func BenchmarkIPGraphEnumeration(b *testing.B) {
 	nuc := superip.NucleusStar(7)
 	ip := nuc.Nuc.IPGraph()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := ip.Build(core.BuildOptions{}); err != nil {
@@ -293,6 +305,7 @@ func BenchmarkIPGraphEnumeration(b *testing.B) {
 
 // BenchmarkDirectHypercube measures the direct-construction baseline.
 func BenchmarkDirectHypercube(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := (networks.Hypercube{Dim: 14}).Build(); err != nil {
 			b.Fatal(err)
@@ -322,6 +335,7 @@ func BenchmarkBidirectionalSearch(b *testing.B) {
 	ip := net.Super().IPGraph()
 	src := net.Super().SeedLabel()
 	dst := symbols.RepeatedSeed(3, symbols.Label{2, 1, 2, 1, 2, 1, 2, 1})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ip.ShortestPath(src, dst, 0); err != nil {
@@ -337,6 +351,7 @@ func BenchmarkVertexConnectivity(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := faults.VertexConnectivity(g); err != nil {
@@ -354,6 +369,7 @@ func BenchmarkBroadcast(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := collectives.Broadcast(g, p, 0, 8); err != nil {
@@ -373,6 +389,7 @@ func BenchmarkBitonicSortEmulated(b *testing.B) {
 	for i := range vals {
 		vals[i] = int64((i * 2654435761) % 1000)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.SetValues(vals); err != nil {

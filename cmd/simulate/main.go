@@ -39,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -107,19 +108,25 @@ func main() {
 		traceNth  = flag.Int("tracesample", 64, "trace every n-th packet (1 = every packet)")
 		topLinks  = flag.Int("toplinks", 0, "after each run, print the n busiest links")
 		progress  = flag.Int("progress", 0, "print a live progress line to stderr every n cycles")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar run counters on this address (e.g. localhost:6060)")
+		pprofAddr = flag.String("pprof", "", "serve profiling endpoints on this address (e.g. localhost:6060): /debug/pprof/ (net/http/pprof: profile, heap, goroutine, ...) and /debug/vars (expvar counters sim_cycle, sim_injected, sim_delivered)")
 	)
 	flag.Parse()
 
 	var ev *expvarProbe
 	if *pprofAddr != "" {
 		ev = newExpvarProbe()
+		// Bind synchronously so an unusable address (port taken, bad
+		// syntax, privileged port) fails the run up front instead of a
+		// goroutine racing a message to stderr while the sweep silently
+		// continues unprofiled.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		exitIf(err)
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "simulate: pprof server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "pprof/expvar listening on http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/ (profiles) and /debug/vars (run counters)\n", ln.Addr())
 	}
 
 	g, part, name, err := buildSystem(*netName, *l, *nucleus, *dim, *module, *rows, *cols)

@@ -1,0 +1,172 @@
+// Package benchkit is the repo's continuous-benchmarking harness. It
+// drives the existing `go test -bench` suite programmatically, parses the
+// standard benchmark output format (ns/op, B/op, allocs/op, and custom
+// metrics), collects N repetitions per benchmark, summarizes them
+// (mean/median/stddev), and serializes schema-versioned BENCH_<runid>.json
+// records with environment metadata so performance is tracked *across*
+// commits, not just observed within one run.
+//
+// On top of the records it provides benchstat-style comparison: a
+// Mann-Whitney rank-sum significance test per (benchmark, metric) pair,
+// ASCII delta tables, and regression budgets ("AllPairs.*:+10%") that a CI
+// gate can enforce with a nonzero exit. See cmd/bench for the CLI.
+package benchkit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is stamped into every serialized run. Readers reject
+// records from a *newer* schema (fields could be missing or reinterpreted)
+// but accept older ones: the schema only grows.
+const SchemaVersion = 1
+
+// Env captures where a run happened. Two runs are only honestly comparable
+// when their Envs broadly match; Diff warns when they do not.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPU        string `json:"cpu,omitempty"`    // model name, from the bench header or /proc/cpuinfo
+	Commit     string `json:"commit,omitempty"` // git HEAD, "-dirty" suffixed when the tree is modified
+	Host       string `json:"host,omitempty"`
+}
+
+// Sample is one benchmark line: the iteration count go test settled on and
+// every reported metric, keyed by its unit string ("ns/op", "B/op",
+// "allocs/op", or any custom b.ReportMetric unit).
+type Sample struct {
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Stat summarizes one metric across a benchmark's repetitions.
+type Stat struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Result is one benchmark's repetitions within a run. Name has the
+// "Benchmark" prefix and any -<procs> suffix stripped; Procs keeps the
+// suffix's value (GOMAXPROCS at run time, 0 when the suffix was absent).
+type Result struct {
+	Name    string          `json:"name"`
+	Pkg     string          `json:"pkg,omitempty"`
+	Procs   int             `json:"procs,omitempty"`
+	Samples []Sample        `json:"samples"`
+	Summary map[string]Stat `json:"summary"`
+}
+
+// Run is one recorded benchmark session: the unit BENCH_<id>.json stores.
+type Run struct {
+	Schema    int       `json:"schema"`
+	ID        string    `json:"id"`
+	Time      time.Time `json:"time"`
+	Env       Env       `json:"env"`
+	BenchRe   string    `json:"bench_re,omitempty"`
+	Benchtime string    `json:"benchtime,omitempty"`
+	Count     int       `json:"count,omitempty"`
+	Packages  []string  `json:"packages,omitempty"`
+	Results   []Result  `json:"results"`
+}
+
+// Result returns the named benchmark's result, or nil.
+func (r *Run) Result(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Summarize (re)computes every Result's per-metric Stat from its samples
+// and sorts results by name so serialized runs diff cleanly.
+func (r *Run) Summarize() {
+	for i := range r.Results {
+		res := &r.Results[i]
+		res.Summary = make(map[string]Stat)
+		for _, unit := range metricUnits(res.Samples) {
+			res.Summary[unit] = Summarize(metricValues(res.Samples, unit))
+		}
+	}
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+}
+
+// NewRunID derives the conventional run identifier: UTC timestamp plus the
+// commit (when known), e.g. "20260806T143000-1a2b3c4d5e6f".
+func NewRunID(t time.Time, commit string) string {
+	id := t.UTC().Format("20060102T150405")
+	if commit != "" {
+		c := commit
+		if len(c) > 12 {
+			c = c[:12]
+		}
+		id += "-" + c
+	}
+	return id
+}
+
+// metricUnits returns the union of units across samples, sorted with the
+// standard trio first so tables read ns/op, B/op, allocs/op, then customs.
+func metricUnits(samples []Sample) []string {
+	seen := map[string]bool{}
+	for _, s := range samples {
+		for u := range s.Metrics {
+			seen[u] = true
+		}
+	}
+	units := make([]string, 0, len(seen))
+	for u := range seen {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool {
+		ri, rj := unitRank(units[i]), unitRank(units[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return units[i] < units[j]
+	})
+	return units
+}
+
+func unitRank(u string) int {
+	switch u {
+	case "ns/op":
+		return 0
+	case "B/op":
+		return 1
+	case "allocs/op":
+		return 2
+	}
+	return 3
+}
+
+func metricValues(samples []Sample, unit string) []float64 {
+	var vals []float64
+	for _, s := range samples {
+		if v, ok := s.Metrics[unit]; ok {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// CheckSchema rejects runs written by a future benchkit.
+func (r *Run) CheckSchema() error {
+	if r.Schema <= 0 {
+		return fmt.Errorf("benchkit: record has no schema version (not a BENCH_*.json?)")
+	}
+	if r.Schema > SchemaVersion {
+		return fmt.Errorf("benchkit: record schema v%d is newer than this tool's v%d", r.Schema, SchemaVersion)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package benchkit
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// CollectEnv snapshots the current environment. The CPU model comes from
+// /proc/cpuinfo when readable (the bench header's "cpu:" line, when parsed,
+// overrides it in Record since it reflects what the testing package saw).
+// Git metadata is best-effort: a missing git binary or a non-repo working
+// directory leaves Commit empty rather than failing the run.
+func CollectEnv() Env {
+	env := Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPU:        cpuModel(),
+		Commit:     gitCommit(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		env.Host = h
+	}
+	return env
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if commit == "" {
+		return ""
+	}
+	// Flag uncommitted changes: a dirty tree's numbers don't belong to HEAD.
+	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
+		commit += "-dirty"
+	}
+	return commit
+}
+
+// EnvMismatch lists the comparability-relevant fields on which two
+// environments differ, formatted "field: old vs new". Empty means the
+// comparison is apples-to-apples.
+func EnvMismatch(old, new Env) []string {
+	var diffs []string
+	add := func(field, a, b string) {
+		if a != b && a != "" && b != "" {
+			diffs = append(diffs, field+": "+a+" vs "+b)
+		}
+	}
+	add("go", old.GoVersion, new.GoVersion)
+	add("goos", old.GOOS, new.GOOS)
+	add("goarch", old.GOARCH, new.GOARCH)
+	add("cpu", old.CPU, new.CPU)
+	if old.GOMAXPROCS != new.GOMAXPROCS && old.GOMAXPROCS != 0 && new.GOMAXPROCS != 0 {
+		diffs = append(diffs, fmt.Sprintf("gomaxprocs: %d vs %d", old.GOMAXPROCS, new.GOMAXPROCS))
+	}
+	return diffs
+}

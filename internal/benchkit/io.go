@@ -1,0 +1,44 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileName returns the conventional record name for a run: BENCH_<id>.json.
+func (r *Run) FileName() string { return "BENCH_" + r.ID + ".json" }
+
+// WriteFile serializes the run (indented, trailing newline) to path. When
+// path is a directory, the conventional BENCH_<id>.json name is appended.
+// Returns the path actually written.
+func (r *Run) WriteFile(path string) (string, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, r.FileName())
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a BENCH_*.json record. Summaries are
+// recomputed from the raw samples so a hand-edited record can't disagree
+// with itself.
+func ReadFile(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var run Run
+	if err := json.Unmarshal(data, &run); err != nil {
+		return nil, fmt.Errorf("benchkit: %s: %w", path, err)
+	}
+	if err := run.CheckSchema(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	run.Summarize()
+	return &run, nil
+}

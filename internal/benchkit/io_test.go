@@ -1,0 +1,133 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGoldenRoundTrip pins the on-disk BENCH_*.json format: the golden
+// record must load with every field intact (schema version, env metadata,
+// custom metrics), survive a write→read round trip bit-for-bit at the
+// struct level, and summarize consistently.
+func TestGoldenRoundTrip(t *testing.T) {
+	run, err := ReadFile(filepath.Join("testdata", "BENCH_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Schema != 1 || run.ID != "20260806T120000-abcdef123456" {
+		t.Errorf("schema/id = %d/%q", run.Schema, run.ID)
+	}
+	if !run.Time.Equal(time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)) {
+		t.Errorf("time = %v", run.Time)
+	}
+	env := run.Env
+	if env.GoVersion != "go1.24.0" || env.GOOS != "linux" || env.GOMAXPROCS != 8 ||
+		env.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" ||
+		env.Commit != "abcdef1234567890abcdef1234567890abcdef12" || env.Host != "ci-runner-1" {
+		t.Errorf("env = %+v", env)
+	}
+	if run.BenchRe != "AllPairs|Routing" || run.Benchtime != "100ms" || run.Count != 3 {
+		t.Errorf("spec fields = %q %q %d", run.BenchRe, run.Benchtime, run.Count)
+	}
+
+	ap := run.Result("AllPairsHSN3Q4")
+	if ap == nil || len(ap.Samples) != 3 || ap.Procs != 8 || ap.Pkg != "repro" {
+		t.Fatalf("AllPairs result = %+v", ap)
+	}
+	// ReadFile recomputes summaries from raw samples.
+	if st := ap.Summary["ns/op"]; st.N != 3 || st.Median != 60500000 {
+		t.Errorf("AllPairs ns/op summary = %+v", st)
+	}
+	routing := run.Result("Routing")
+	if routing == nil {
+		t.Fatal("Routing result missing")
+	}
+	// Custom metric round-trips and summarizes like the standard trio.
+	if st := routing.Summary["hops/op"]; st.N != 3 || st.Median != 2.5 || st.Min != 2.25 {
+		t.Errorf("hops/op summary = %+v", st)
+	}
+
+	// Write → read: identical structs.
+	dir := t.TempDir()
+	path, err := run.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_20260806T120000-abcdef123456.json" {
+		t.Errorf("conventional name = %q", filepath.Base(path))
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run, back) {
+		t.Errorf("round trip changed the record:\n got %+v\nwant %+v", back, run)
+	}
+}
+
+func TestReadFileRejectsBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Future schema: refuse (fields could be reinterpreted).
+	if _, err := ReadFile(write("future.json", `{"schema": 99, "id": "x", "results": []}`)); err == nil {
+		t.Error("future schema accepted")
+	}
+	// No schema at all: not a benchkit record.
+	if _, err := ReadFile(write("none.json", `{"id": "x"}`)); err == nil {
+		t.Error("schema-less record accepted")
+	}
+	// Not JSON.
+	if _, err := ReadFile(write("garbage.json", "BenchmarkFoo 10 100 ns/op\n")); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestRecordFromParsedOutput exercises the Parse → Run → serialize path a
+// real recording takes, without shelling out to go test.
+func TestRecordFromParsedOutput(t *testing.T) {
+	results, header, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &Run{
+		Schema:  SchemaVersion,
+		ID:      NewRunID(time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC), "deadbeefcafe0123"),
+		Time:    time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		Env:     Env{CPU: header["cpu"]},
+		Results: results,
+	}
+	run.Summarize()
+	if run.ID != "20260806T120000-deadbeefcafe" {
+		t.Errorf("run id = %q", run.ID)
+	}
+	data, err := json.Marshal(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	back.Summarize()
+	if !reflect.DeepEqual(run, &back) {
+		t.Errorf("JSON round trip changed the run")
+	}
+	// Summaries must be ordered/derivable: BuildHSN3Q4 has 2 samples.
+	if st := back.Result("BuildHSN3Q4").Summary["ns/op"]; st.N != 2 {
+		t.Errorf("BuildHSN3Q4 summary = %+v", st)
+	}
+}

@@ -1,0 +1,105 @@
+package benchkit
+
+import (
+	"bufio"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Parse reads standard `go test -bench` output and returns one Result per
+// benchmark name, accumulating repeated lines (from -count) as samples.
+// Header key-value lines (goos/goarch/pkg/cpu) are folded into the returned
+// header map; the "pkg" header tags each subsequent result so multi-package
+// runs stay attributable.
+//
+// The parser is deliberately tolerant: any line that is not a well-formed
+// benchmark line (PASS/FAIL/ok footers, test log noise, truncated output
+// from a killed run) is skipped, never fatal. Benchmarks only surface
+// through what they print, so resilience here is what keeps one broken
+// benchmark from hiding every other result.
+func Parse(r io.Reader) (results []Result, header map[string]string, err error) {
+	header = map[string]string{}
+	index := map[string]int{} // name -> position in results
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := parseHeader(line); ok {
+			header[k] = v
+			if k == "pkg" {
+				pkg = v
+			}
+			continue
+		}
+		name, procs, sample, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		key := pkg + "\x00" + name
+		i, seen := index[key]
+		if !seen {
+			i = len(results)
+			index[key] = i
+			results = append(results, Result{Name: name, Pkg: pkg, Procs: procs})
+		}
+		results[i].Samples = append(results[i].Samples, sample)
+	}
+	return results, header, sc.Err()
+}
+
+// headerRe matches the metadata lines the testing package prints before
+// benchmarks: a lowercase key, a colon, and a value.
+var headerRe = regexp.MustCompile(`^([a-z][a-z0-9/]*):\s+(.*\S)\s*$`)
+
+func parseHeader(line string) (key, val string, ok bool) {
+	m := headerRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", "", false
+	}
+	return m[1], m[2], true
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkName-8   	 1000	 1234567 ns/op	 12 B/op	 3 allocs/op	 4.5 widgets/op
+//
+// The -<procs> suffix is optional (absent when GOMAXPROCS=1). Metrics come
+// as value/unit pairs; an odd trailing field or an unparseable value makes
+// the whole line malformed (returned !ok) rather than a partial sample.
+func parseBenchLine(line string) (name string, procs int, s Sample, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", 0, Sample{}, false
+	}
+	// "Benchmark" alone (no subname) is not a valid benchmark identifier.
+	name = strings.TrimPrefix(f[0], "Benchmark")
+	if name == "" {
+		return "", 0, Sample{}, false
+	}
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return "", 0, Sample{}, false
+	}
+	s = Sample{Iters: iters, Metrics: make(map[string]float64, (len(f)-2)/2)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", 0, Sample{}, false
+		}
+		unit := f[i+1]
+		if unit == "" {
+			return "", 0, Sample{}, false
+		}
+		s.Metrics[unit] = v
+	}
+	return name, procs, s, true
+}

@@ -1,0 +1,109 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBuildHSN3Q4 	       2	  61234567 ns/op	 5120000 B/op	   12345 allocs/op
+BenchmarkBuildHSN3Q4 	       2	  59876543 ns/op	 5120100 B/op	   12345 allocs/op
+BenchmarkRouting-8   	  100000	     10432 ns/op	     2.500 hops/op	     320 B/op	       7 allocs/op
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/graph
+BenchmarkAllPairsQ10 	       5	 200000000 ns/op
+PASS
+ok  	repro/internal/graph	2.000s
+`
+
+func TestParseStandardOutput(t *testing.T) {
+	results, header, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu header = %q", header["cpu"])
+	}
+	if header["goos"] != "linux" || header["goarch"] != "amd64" {
+		t.Errorf("goos/goarch headers = %q/%q", header["goos"], header["goarch"])
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+
+	build := results[0]
+	if build.Name != "BuildHSN3Q4" || build.Pkg != "repro" || build.Procs != 0 {
+		t.Errorf("build result = %+v", build)
+	}
+	if len(build.Samples) != 2 {
+		t.Fatalf("BuildHSN3Q4: %d samples, want 2 (repeated -count lines must accumulate)", len(build.Samples))
+	}
+	if build.Samples[0].Iters != 2 || build.Samples[0].Metrics["ns/op"] != 61234567 {
+		t.Errorf("sample 0 = %+v", build.Samples[0])
+	}
+	if build.Samples[1].Metrics["B/op"] != 5120100 {
+		t.Errorf("sample 1 B/op = %v", build.Samples[1].Metrics["B/op"])
+	}
+
+	// -8 proc suffix stripped into Procs; custom metric preserved.
+	routing := results[1]
+	if routing.Name != "Routing" || routing.Procs != 8 {
+		t.Errorf("routing result = %+v", routing)
+	}
+	if routing.Samples[0].Metrics["hops/op"] != 2.5 {
+		t.Errorf("custom metric hops/op = %v", routing.Samples[0].Metrics)
+	}
+	if routing.Samples[0].Metrics["allocs/op"] != 7 {
+		t.Errorf("allocs/op = %v", routing.Samples[0].Metrics)
+	}
+
+	// Second package's pkg header tags its results.
+	ap := results[2]
+	if ap.Name != "AllPairsQ10" || ap.Pkg != "repro/internal/graph" {
+		t.Errorf("allpairs result = %+v", ap)
+	}
+}
+
+func TestParseMalformedLinesTolerated(t *testing.T) {
+	input := strings.Join([]string{
+		"BenchmarkGood 	 10	 100 ns/op",
+		"BenchmarkTruncated 	 10	 100",         // odd field count
+		"BenchmarkNotANumber 	 abc	 100 ns/op", // bad iteration count
+		"BenchmarkBadValue 	 10	 xyz ns/op",    // bad metric value
+		"Benchmark 	 10	 100 ns/op",            // empty name
+		"BenchmarkZeroIters 	 0	 100 ns/op",    // impossible iters
+		"random test log line",
+		"--- FAIL: TestSomething (0.00s)",
+		"    something_test.go:10: assertion failed",
+		"BenchmarkAlsoGood 	 20	 50 ns/op	 1 B/op	 1 allocs/op",
+	}, "\n")
+	results, _, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want exactly the 2 well-formed ones: %+v", len(results), results)
+	}
+	if results[0].Name != "Good" || results[1].Name != "AlsoGood" {
+		t.Errorf("names = %q, %q", results[0].Name, results[1].Name)
+	}
+}
+
+func TestParseSubBenchmarkNames(t *testing.T) {
+	// Sub-benchmarks keep their slash path; the -procs suffix still strips.
+	input := "BenchmarkRun/uniform/rate=0.005-16 	 100	 1000 ns/op\n"
+	results, _, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Name != "Run/uniform/rate=0.005" || results[0].Procs != 16 {
+		t.Errorf("got name %q procs %d", results[0].Name, results[0].Procs)
+	}
+}

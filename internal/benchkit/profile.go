@@ -1,0 +1,121 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// ProfileSpec says which profiles to capture and where to put them. Either
+// directory may be empty to skip that profile kind.
+type ProfileSpec struct {
+	CPUDir string
+	MemDir string
+	// Benchtime for the profiling runs; profiles want more samples than a
+	// quick timing pass, so this is independent of the recording Spec's.
+	Benchtime string
+	Timeout   string
+	Verbose   io.Writer
+}
+
+func (p ProfileSpec) enabled() bool { return p.CPUDir != "" || p.MemDir != "" }
+
+// Profile is one captured profile on disk plus its top-functions summary.
+type Profile struct {
+	Bench   string
+	Kind    string // "cpu" or "mem"
+	Path    string
+	TopPath string // sibling .txt with `go tool pprof -top` output
+}
+
+// CaptureProfiles reruns each named benchmark once per package with
+// -cpuprofile/-memprofile and writes a top-functions summary next to each
+// profile, so a flagged regression arrives with its hot stack attached.
+// go test only accepts profile flags for a single package at a time, so
+// benchmarks are re-run per (package, benchmark) pair — names must come
+// from a recorded Run (Result.Pkg tags the package).
+func CaptureProfiles(run *Run, names []string, spec ProfileSpec) ([]Profile, error) {
+	if !spec.enabled() || len(names) == 0 {
+		return nil, nil
+	}
+	for _, dir := range []string{spec.CPUDir, spec.MemDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var profiles []Profile
+	for _, name := range names {
+		res := run.Result(name)
+		if res == nil {
+			continue
+		}
+		pkg := res.Pkg
+		if pkg == "" {
+			pkg = "."
+		}
+		args := []string{"test", "-run", "^$", "-bench", "^Benchmark" + name + "$", "-benchmem"}
+		if spec.Benchtime != "" {
+			args = append(args, "-benchtime", spec.Benchtime)
+		}
+		if spec.Timeout != "" {
+			args = append(args, "-timeout", spec.Timeout)
+		}
+		safe := strings.NewReplacer("/", "_", "=", "_").Replace(name)
+		// Profiling makes go test keep the test binary; park it next to
+		// the profiles (it is what `go tool pprof <bin> <profile>` wants)
+		// instead of littering the working directory.
+		binDir := spec.CPUDir
+		if binDir == "" {
+			binDir = spec.MemDir
+		}
+		args = append(args, "-o", filepath.Join(binDir, safe+".test"))
+		var cpuPath, memPath string
+		if spec.CPUDir != "" {
+			cpuPath = filepath.Join(spec.CPUDir, safe+".cpu.pprof")
+			args = append(args, "-cpuprofile", cpuPath)
+		}
+		if spec.MemDir != "" {
+			memPath = filepath.Join(spec.MemDir, safe+".mem.pprof")
+			args = append(args, "-memprofile", memPath)
+		}
+		args = append(args, pkg)
+		if out, err := goTest(args, spec.Verbose); err != nil {
+			return profiles, fmt.Errorf("benchkit: profiling %s: %w\n%s", name, err, tail(out, 1024))
+		}
+		if cpuPath != "" {
+			p := Profile{Bench: name, Kind: "cpu", Path: cpuPath}
+			p.TopPath, _ = writeTopSummary(cpuPath, nil)
+			profiles = append(profiles, p)
+		}
+		if memPath != "" {
+			p := Profile{Bench: name, Kind: "mem", Path: memPath}
+			// alloc_space, not the in-use default: for benchmarks the
+			// interesting question is what the code path allocates.
+			p.TopPath, _ = writeTopSummary(memPath, []string{"-sample_index=alloc_space"})
+			profiles = append(profiles, p)
+		}
+	}
+	return profiles, nil
+}
+
+// writeTopSummary runs `go tool pprof -top` on the profile and stores the
+// result as <profile>.top.txt. Failures are non-fatal (the raw profile is
+// the artifact that matters); the empty path signals "no summary".
+func writeTopSummary(profilePath string, extra []string) (string, error) {
+	args := append([]string{"tool", "pprof", "-top", "-nodecount=12"}, extra...)
+	args = append(args, profilePath)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("benchkit: pprof -top %s: %w", profilePath, err)
+	}
+	topPath := strings.TrimSuffix(profilePath, filepath.Ext(profilePath)) + ".top.txt"
+	if err := os.WriteFile(topPath, out, 0o644); err != nil {
+		return "", err
+	}
+	return topPath, nil
+}

@@ -1,0 +1,167 @@
+package benchkit
+
+import (
+	"math"
+	"sort"
+)
+
+// Summarize computes the Stat block for one metric's samples.
+func Summarize(vals []float64) Stat {
+	st := Stat{N: len(vals)}
+	if st.N == 0 {
+		return st
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	st.Min, st.Max = sorted[0], sorted[st.N-1]
+	st.Median = median(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	st.Mean = sum / float64(st.N)
+	if st.N > 1 {
+		ss := 0.0
+		for _, v := range sorted {
+			d := v - st.Mean
+			ss += d * d
+		}
+		st.Stddev = math.Sqrt(ss / float64(st.N-1))
+	}
+	return st
+}
+
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MannWhitneyU runs the two-sided Mann-Whitney rank-sum test (the same
+// test benchstat uses) on two metric sample sets and returns the p-value
+// for "x and y are draws from the same distribution". Benchmark timings
+// are rarely normal — they have heavy right tails from scheduler noise —
+// so a rank test beats a t-test here.
+//
+// For tie-free small samples (n*m permutations enumerable) the null
+// distribution of U is computed exactly by dynamic programming; otherwise
+// the normal approximation with tie correction and continuity correction
+// is used. Returns NaN when either side has no samples or when every
+// observation is identical (no evidence either way).
+func MannWhitneyU(x, y []float64) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return math.NaN()
+	}
+	// Rank the pooled samples, averaging ranks across ties.
+	all := make([]float64, 0, n+m)
+	all = append(all, x...)
+	all = append(all, y...)
+	sorted := append([]float64(nil), all...)
+	sort.Float64s(sorted)
+	rank := func(v float64) float64 {
+		lo := sort.SearchFloat64s(sorted, v)
+		hi := lo
+		for hi < len(sorted) && sorted[hi] == v {
+			hi++
+		}
+		return float64(lo+hi+1) / 2 // average of 1-based ranks lo+1..hi
+	}
+	rx := 0.0
+	for _, v := range x {
+		rx += rank(v)
+	}
+	u := rx - float64(n)*float64(n+1)/2 // U statistic for x
+
+	// Tie structure, for both the exact-test guard and the variance fix.
+	ties := false
+	tieTerm := 0.0
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		if t := j - i; t > 1 {
+			ties = true
+			tieTerm += float64(t*t*t - t)
+		}
+		i = j
+	}
+	if sorted[0] == sorted[len(sorted)-1] {
+		return math.NaN() // all observations identical
+	}
+
+	if !ties && n*m <= 400 {
+		return exactMWU(n, m, u)
+	}
+
+	nm := float64(n) * float64(m)
+	nTot := float64(n + m)
+	mu := nm / 2
+	sigma2 := nm / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if sigma2 <= 0 {
+		return math.NaN()
+	}
+	// Continuity-corrected two-sided normal tail.
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	return 2 * 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// exactMWU computes the exact two-sided p-value of the Mann-Whitney U
+// statistic for tie-free samples of sizes n and m: the classic DP over
+// "number of ways to reach rank-sum u with n of n+m elements".
+func exactMWU(n, m int, u float64) float64 {
+	maxU := n * m
+	// count[k][v] = #subsets of size k with U contribution v; rolled array.
+	count := make([][]float64, n+1)
+	for k := range count {
+		count[k] = make([]float64, maxU+1)
+	}
+	count[0][0] = 1
+	// Each of the m "other" elements an x-element outranks adds 1 to U.
+	// Standard recurrence: f(n, m, u) = f(n-1, m, u-m') summed via items.
+	for item := 1; item <= n+m; item++ {
+		for k := minInt(item, n); k >= 1; k-- {
+			// Choosing pooled element with rank `item` as an x adds
+			// (item - k) to U: it outranks item-k y-elements so far.
+			add := item - k
+			if add > maxU {
+				continue
+			}
+			for v := maxU; v >= add; v-- {
+				count[k][v] += count[k-1][v-add]
+			}
+		}
+	}
+	total := 0.0
+	for _, c := range count[n] {
+		total += c
+	}
+	// Two-sided: sum probabilities of outcomes at least as extreme as u
+	// (distance from the mean nm/2).
+	mu := float64(maxU) / 2
+	d := math.Abs(u - mu)
+	extreme := 0.0
+	for v, c := range count[n] {
+		if math.Abs(float64(v)-mu) >= d-1e-9 {
+			extreme += c
+		}
+	}
+	p := extreme / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

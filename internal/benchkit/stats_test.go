@@ -1,0 +1,72 @@
+package benchkit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{4, 1, 3, 2})
+	if st.N != 4 || st.Min != 1 || st.Max != 4 {
+		t.Errorf("stat = %+v", st)
+	}
+	if st.Mean != 2.5 || st.Median != 2.5 {
+		t.Errorf("mean/median = %v/%v", st.Mean, st.Median)
+	}
+	// Sample stddev of {1,2,3,4} = sqrt(5/3).
+	if want := math.Sqrt(5.0 / 3.0); math.Abs(st.Stddev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", st.Stddev, want)
+	}
+
+	odd := Summarize([]float64{10, 30, 20})
+	if odd.Median != 20 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	if empty := Summarize(nil); empty.N != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+}
+
+func TestMannWhitneyClearSeparation(t *testing.T) {
+	// Five vs five with no overlap: the most extreme assignment. Exact
+	// two-sided p = 2 * 1/C(10,5) = 2/252.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 11, 12, 13, 14}
+	p := MannWhitneyU(x, y)
+	if want := 2.0 / 252.0; math.Abs(p-want) > 1e-9 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+}
+
+func TestMannWhitneyOverlap(t *testing.T) {
+	// Interleaved samples: no evidence of a shift; p must be large.
+	x := []float64{1, 3, 5, 7, 9}
+	y := []float64{2, 4, 6, 8, 10}
+	if p := MannWhitneyU(x, y); p < 0.5 {
+		t.Errorf("interleaved samples gave p = %v, want ~1", p)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if p := MannWhitneyU(nil, []float64{1}); !math.IsNaN(p) {
+		t.Errorf("empty side: p = %v, want NaN", p)
+	}
+	if p := MannWhitneyU([]float64{5, 5}, []float64{5, 5}); !math.IsNaN(p) {
+		t.Errorf("all-identical: p = %v, want NaN", p)
+	}
+}
+
+func TestMannWhitneyTiesFallBackToNormalApprox(t *testing.T) {
+	// Heavy ties force the normal approximation; a clear shift must still
+	// come out significant and a tie-dominated overlap must not.
+	x := []float64{100, 100, 100, 101, 101, 102, 100, 101, 100, 102}
+	y := []float64{150, 150, 151, 150, 152, 151, 150, 150, 151, 152}
+	if p := MannWhitneyU(x, y); p > 0.01 {
+		t.Errorf("shifted tied samples: p = %v, want < 0.01", p)
+	}
+	a := []float64{100, 101, 100, 101, 100, 101}
+	b := []float64{101, 100, 101, 100, 101, 100}
+	if p := MannWhitneyU(a, b); p < 0.5 {
+		t.Errorf("identical tied distributions: p = %v, want large", p)
+	}
+}

@@ -266,6 +266,7 @@ func BenchmarkRouteHSN3Q2(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := int32(rng.Intn(ix.N()))
@@ -277,6 +278,7 @@ func BenchmarkRouteHSN3Q2(b *testing.B) {
 }
 
 func BenchmarkBuildHSN2Q4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := hsn(2, nucleusQ(4), false)
 		if _, _, err := s.Build(BuildOptions{}); err != nil {

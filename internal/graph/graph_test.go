@@ -367,6 +367,7 @@ func TestEdgeRangePanic(t *testing.T) {
 
 func BenchmarkAllPairsQ10(b *testing.B) {
 	g := hypercubeGraph(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.AllPairs()
@@ -381,6 +382,7 @@ func BenchmarkZeroOneBFS(b *testing.B) {
 		}
 		return 1
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.ZeroOneBFS(0, w)

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/networks"
+)
+
+// Micro-benchmarks for the simulator's building blocks, sized so one
+// iteration is cheap enough for tight -count loops under cmd/bench. All
+// report allocations: the simulator's hot loop is supposed to be
+// allocation-free per cycle, so an allocs/op regression here is a bug
+// signal on its own, not just a speed signal.
+
+// BenchmarkRunQ6 is one small fault-free run: the hypercube baseline every
+// latency comparison in the Section 5.4 scenario rests on.
+func BenchmarkRunQ6(b *testing.B) {
+	g, err := (networks.Hypercube{Dim: 6}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Graph: g, InjectionRate: 0.01, WarmupCycles: 50, MeasureCycles: 300}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultPlanGen measures random fault-schedule generation
+// (validation included) on the same substrate.
+func BenchmarkFaultPlanGen(b *testing.B) {
+	g, err := (networks.Hypercube{Dim: 6}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (RandomFaults{
+			MTBF: 100, RepairTime: 150, Start: 50, Horizon: 500,
+			MaxFaults: 8, Seed: int64(i + 1),
+		}).Plan(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFaultyQ6 prices the degraded-mode loop (reroutes, detours,
+// retransmissions) against BenchmarkRunQ6.
+func BenchmarkRunFaultyQ6(b *testing.B) {
+	g, err := (networks.Hypercube{Dim: 6}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Graph: g, InjectionRate: 0.01, WarmupCycles: 50, MeasureCycles: 300}
+	plan, err := (RandomFaults{
+		MTBF: 100, RepairTime: 150, Start: cfg.WarmupCycles,
+		Horizon: cfg.WarmupCycles + cfg.MeasureCycles, MaxFaults: 4, Seed: 1,
+	}).Plan(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := RunFaulty(cfg, FaultConfig{Plan: plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotspotPattern measures destination selection under the skewed
+// traffic pattern (per-packet work on the injection path).
+func BenchmarkHotspotPattern(b *testing.B) {
+	g, err := (networks.Hypercube{Dim: 6}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Graph: g, InjectionRate: 0.01, WarmupCycles: 50, MeasureCycles: 300,
+		Pattern: Hotspot(0.2),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -438,6 +438,7 @@ func BenchmarkApply(b *testing.B) {
 	p := randomPerm(r, 32)
 	src := make([]byte, 32)
 	dst := make([]byte, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Apply(dst, src)
@@ -448,6 +449,7 @@ func BenchmarkCompose(b *testing.B) {
 	r := rand.New(rand.NewSource(5))
 	p := randomPerm(r, 32)
 	q := randomPerm(r, 32)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Compose(p, q)
