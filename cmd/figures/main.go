@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-limit N] [artifact ...]
+//	figures [-limit N] [-parallel] [-workers N] [artifact ...]
 package main
 
 import (
@@ -13,12 +13,23 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/figures"
 )
 
 func main() {
 	limit := flag.Int("limit", 1<<13, "largest instance measured exhaustively for Fig 3")
+	par := flag.Bool("parallel", true, "use the parallel level-synchronous enumerator (identical output)")
+	workers := flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// Graph construction is deterministic for every worker count, so these
+	// flags never change the emitted tables — only how fast they appear.
+	if !*par {
+		core.DefaultWorkers = 1
+	} else if *workers > 0 {
+		core.DefaultWorkers = *workers
+	}
 
 	gens := map[string]func() (*figures.Table, error){
 		"fig1":           figures.Fig1,

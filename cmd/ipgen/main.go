@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/bisect"
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/hier"
@@ -47,6 +49,9 @@ func main() {
 		kappa   = flag.Bool("kappa", false, "measure exact vertex/edge connectivity")
 		bisectN = flag.Bool("bisect", false, "estimate bisection width (exact <= 24 nodes, else Kernighan-Lin)")
 		lay     = flag.Bool("layout", false, "place on a grid (recursive bisection) and report wire cost")
+		par     = flag.Bool("parallel", true, "use the parallel level-synchronous enumerator (identical output)")
+		workers = flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
+		bonly   = flag.Bool("buildonly", false, "skip all-pairs statistics; report size, degree, and build time only")
 	)
 	analyze = func(g *graph.Graph) {
 		if *kappa {
@@ -77,6 +82,15 @@ func main() {
 	}
 	flag.Parse()
 
+	// The parallel enumerator is byte-identical to the sequential one, so the
+	// flags only choose the code path (and its speed), never the output.
+	if !*par {
+		core.DefaultWorkers = 1
+	} else if *workers > 0 {
+		core.DefaultWorkers = *workers
+	}
+	buildOnly = *bonly
+
 	switch *netName {
 	case "HSN", "ringCN", "CN", "dirCN", "SFN", "RCC":
 		runSuperIP(*netName, *l, *nucleus, *sym, *dot, *istats)
@@ -100,6 +114,11 @@ func main() {
 
 // analyze optionally runs the -kappa / -bisect analyses after report.
 var analyze func(*graph.Graph)
+
+// buildOnly suppresses the all-pairs statistics in report: BFS from every
+// node is infeasible on million-node builds where construction itself takes
+// only seconds.
+var buildOnly bool
 
 type buildable interface {
 	Name() string
@@ -188,7 +207,9 @@ func runSuperIP(family string, l int, nucleus string, sym, dot, istats bool) {
 	}
 	fmt.Printf("%s: analytic N=%d degree=%d diameter=%d I-diameter=%d\n",
 		net.Name(), net.N(), net.Degree(), net.Diameter(), net.IDiameter())
+	start := time.Now()
 	g, ix, err := net.BuildWithIndex()
+	buildElapsed = time.Since(start)
 	if err != nil {
 		fmt.Printf("(not built: %v)\n", err)
 		return
@@ -203,14 +224,29 @@ func runSuperIP(family string, l int, nucleus string, sym, dot, istats bool) {
 }
 
 func buildAndReport(spec buildable, dot bool) {
+	start := time.Now()
 	g, err := spec.Build()
+	buildElapsed = time.Since(start)
 	exitIf(err)
 	report(spec.Name(), g, dot)
 }
 
+// buildElapsed is the wall-clock time of the most recent graph construction,
+// printed by report in -buildonly mode.
+var buildElapsed time.Duration
+
 func report(name string, g *graph.Graph, dot bool) {
 	if dot {
 		fmt.Print(g.DOT(sanitize(name)))
+		return
+	}
+	if buildOnly {
+		fmt.Printf("%s: N=%d edges=%d degree=%d..%d built-in=%s\n",
+			name, g.N(), g.NumEdges(), g.MinDegree(), g.MaxDegree(),
+			buildElapsed.Round(time.Millisecond))
+		if analyze != nil {
+			analyze(g)
+		}
 		return
 	}
 	st := g.Symmetrized().AllPairs()

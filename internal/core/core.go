@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/graph"
 	"repro/internal/perm"
@@ -72,10 +73,49 @@ func (ip *IPGraph) GenName(i int) string {
 
 // Index maps between node ids and labels of a built IP graph. Node ids are
 // assigned in BFS discovery order from the seed (the seed is node 0), which
-// makes builds deterministic.
+// makes builds deterministic: the parallel builder assigns exactly the same
+// ids as the sequential one (see parallel.go).
+//
+// Internally the key->id map is hash-sharded (power-of-two shard count) so
+// the parallel builder can intern labels from many goroutines without a
+// global lock; a sequentially built Index uses a single shard and skips
+// hashing entirely.
 type Index struct {
-	byKey  map[string]int32
+	mask   uint32
+	shards []map[string]int32
 	labels []symbols.Label
+}
+
+// newIndex returns an empty Index with the given power-of-two shard count.
+func newIndex(shardCount int) *Index {
+	if shardCount < 1 || shardCount&(shardCount-1) != 0 {
+		panic("core: index shard count must be a power of two")
+	}
+	shards := make([]map[string]int32, shardCount)
+	for i := range shards {
+		shards[i] = map[string]int32{}
+	}
+	return &Index{mask: uint32(shardCount - 1), shards: shards}
+}
+
+// labelHash is FNV-1a over the label bytes; its low bits pick the shard.
+// The hash only routes keys to shards — node ids never depend on it, so any
+// change of hash or shard count leaves built graphs bit-identical.
+func labelHash(x []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range x {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardFor returns the intern map responsible for label x.
+func (ix *Index) shardFor(x []byte) map[string]int32 {
+	if ix.mask == 0 {
+		return ix.shards[0]
+	}
+	return ix.shards[uint32(labelHash(x))&ix.mask]
 }
 
 // N returns the number of enumerated labels.
@@ -86,10 +126,23 @@ func (ix *Index) Label(id int32) symbols.Label { return ix.labels[id] }
 
 // ID returns the node id of a label, or -1 if the label is not a vertex.
 func (ix *Index) ID(x symbols.Label) int32 {
-	if id, ok := ix.byKey[x.Key()]; ok {
+	if id, ok := ix.shardFor(x)[string(x)]; ok {
 		return id
 	}
 	return -1
+}
+
+// add interns x (cloning it) and reports whether it was new.
+func (ix *Index) add(x symbols.Label) (int32, bool) {
+	m := ix.shardFor(x)
+	if id, ok := m[string(x)]; ok {
+		return id, false
+	}
+	c := x.Clone()
+	id := int32(len(ix.labels))
+	m[c.Key()] = id
+	ix.labels = append(ix.labels, c)
+	return id, true
 }
 
 // BuildOptions controls Build.
@@ -102,50 +155,108 @@ type BuildOptions struct {
 	AttachLabels bool
 	// GroupSize is the super-symbol length used when rendering labels.
 	GroupSize int
+	// Workers selects the enumeration strategy: 1 forces the sequential
+	// builder, n > 1 runs the parallel level-synchronous builder with n
+	// workers, and 0 falls back to DefaultWorkers (and then GOMAXPROCS).
+	// The built graph and index are bit-identical for every worker count.
+	Workers int
+}
+
+// DefaultWorkers, when positive, is the worker count used by Build whenever
+// BuildOptions.Workers is zero; when itself zero, GOMAXPROCS is used. CLI
+// front-ends set it once at startup (-parallel/-workers flags); it is not
+// synchronized, so set it before building from multiple goroutines.
+var DefaultWorkers int
+
+// effectiveWorkers resolves the Workers option against the defaults.
+func effectiveWorkers(opt BuildOptions) int {
+	w := opt.Workers
+	if w == 0 {
+		w = DefaultWorkers
+	}
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Build enumerates the IP graph by breadth-first search from the seed and
 // returns the realized graph plus the label index. If the generator set is
 // closed under inverse the result is undirected; otherwise it is a directed
 // graph (as for de Bruijn-style generators).
+//
+// With more than one worker (see BuildOptions.Workers) the enumeration is
+// parallel and level-synchronous; node ids, edge order, and labels are
+// guaranteed bit-identical to BuildSeq regardless of the worker count.
 func (ip *IPGraph) Build(opt BuildOptions) (*graph.Graph, *Index, error) {
 	if err := ip.Validate(); err != nil {
 		return nil, nil, err
 	}
-	undirected := perm.ClosedUnderInverse(ip.Gens)
-	ix := &Index{byKey: map[string]int32{}}
-	add := func(x symbols.Label) int32 {
-		if id, ok := ix.byKey[x.Key()]; ok {
-			return id
-		}
-		id := int32(len(ix.labels))
-		c := x.Clone()
-		ix.byKey[c.Key()] = id
-		ix.labels = append(ix.labels, c)
-		return id
+	if w := effectiveWorkers(opt); w > 1 {
+		return ip.buildParallel(opt, w)
 	}
-	add(ip.Seed)
-	type arc struct{ u, v int32 }
-	var arcs []arc
+	return ip.buildSeq(opt)
+}
+
+// BuildSeq is the sequential single-threaded enumerator. It is retained as
+// the oracle the parallel builder is differenced against: the determinism
+// tests assert Build produces byte-identical output for every worker count.
+func (ip *IPGraph) BuildSeq(opt BuildOptions) (*graph.Graph, *Index, error) {
+	if err := ip.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return ip.buildSeq(opt)
+}
+
+func (ip *IPGraph) buildSeq(opt BuildOptions) (*graph.Graph, *Index, error) {
+	ix := newIndex(1)
+	ix.add(ip.Seed)
+	// arcs[u*len(Gens)+j] is the node reached from u by generator j.
+	arcs := make([]int32, 0, 64*len(ip.Gens))
 	buf := make(symbols.Label, len(ip.Seed))
 	for head := 0; head < len(ix.labels); head++ {
-		u := int32(head)
 		x := ix.labels[head]
 		for _, g := range ip.Gens {
 			g.Apply(buf, x)
-			v := add(buf)
-			if opt.Limit > 0 && len(ix.labels) > opt.Limit {
-				return nil, nil, fmt.Errorf("core: %s exceeds vertex limit %d", ip.Name, opt.Limit)
+			v, fresh := ix.add(buf)
+			if fresh && opt.Limit > 0 && len(ix.labels) > opt.Limit {
+				// Checked before the over-limit node contributes any arc.
+				return nil, nil, ip.limitErr(opt.Limit, len(ix.labels))
 			}
-			arcs = append(arcs, arc{u, v})
+			arcs = append(arcs, v)
 		}
 	}
+	return ip.finish(ix, arcs, opt)
+}
+
+// limitErr reports a BuildOptions.Limit violation, naming the family and the
+// number of vertices enumeration had reached when it was cut off.
+func (ip *IPGraph) limitErr(limit, attempted int) error {
+	name := ip.Name
+	if name == "" {
+		name = "IP graph"
+	}
+	return fmt.Errorf("core: %s exceeds vertex limit %d (attempted %d vertices)", name, limit, attempted)
+}
+
+// finish realizes the enumerated arc table as a CSR graph. Both builders
+// produce the identical flat arc layout (node-major, generator-minor), so
+// sharing this epilogue guarantees the realized graphs match exactly.
+func (ip *IPGraph) finish(ix *Index, arcs []int32, opt BuildOptions) (*graph.Graph, *Index, error) {
+	undirected := perm.ClosedUnderInverse(ip.Gens)
+	G := len(ip.Gens)
 	b := graph.NewBuilder(len(ix.labels), !undirected)
-	for _, a := range arcs {
-		if undirected {
-			b.AddEdge(a.u, a.v)
-		} else {
-			b.AddArc(a.u, a.v)
+	for u := 0; u < len(ix.labels); u++ {
+		for j := 0; j < G; j++ {
+			v := arcs[u*G+j]
+			if undirected {
+				b.AddEdge(int32(u), v)
+			} else {
+				b.AddArc(int32(u), v)
+			}
 		}
 	}
 	g := b.Build()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -286,8 +287,12 @@ func TestBuildLimit(t *testing.T) {
 		gens = append(gens, perm.Transposition(7, 0, i))
 	}
 	ip := Cayley("S7", gens, nil)
-	if _, _, err := ip.Build(BuildOptions{Limit: 100}); err == nil {
+	_, _, err := ip.Build(BuildOptions{Limit: 100})
+	if err == nil {
 		t.Fatal("expected limit error for 7! nodes")
+	}
+	if !strings.Contains(err.Error(), "S7") || !strings.Contains(err.Error(), "attempted") {
+		t.Fatalf("limit error %q must name the family and the attempted count", err)
 	}
 }
 

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// completeCN builds the complete cyclic-shift network CN(l;G) of Section 3.3
+// with super-generators L(1,m) .. L(l-1,m).
+func completeCN(l int, nuc Nucleus, symmetric bool) *SuperIP {
+	m := nuc.M()
+	gens := make([]perm.Perm, 0, l-1)
+	for i := 1; i < l; i++ {
+		gens = append(gens, perm.BlockLeftShift(l, m, i))
+	}
+	return &SuperIP{Name: "CN", L: l, Nucleus: nuc, SuperGens: gens, Symmetric: symmetric}
+}
+
+// dirCN builds the directed cyclic-shift network with the single shift {L}.
+func dirCN(l int, nuc Nucleus, symmetric bool) *SuperIP {
+	m := nuc.M()
+	return &SuperIP{
+		Name:      "dir-CN",
+		L:         l,
+		Nucleus:   nuc,
+		SuperGens: []perm.Perm{perm.BlockLeftShift(l, m, 1)},
+		Symmetric: symmetric,
+	}
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+func pow(m, l int) int {
+	p := 1
+	for i := 0; i < l; i++ {
+		p *= m
+	}
+	return p
+}
+
+// TestInvariantNodeCounts checks the paper-predicted node counts over a grid
+// of small instances: Theorem 3.2 gives N = M^l for plain super-IP graphs;
+// the Section 3.5 extension multiplies by the number of reachable
+// super-symbol arrangements — l! for the transposition (HSN) and flip (SFN)
+// families, l for the cyclic-shift (CN) families.
+func TestInvariantNodeCounts(t *testing.T) {
+	type family struct {
+		name string
+		mk   func(l int, nuc Nucleus, sym bool) *SuperIP
+		// arrangements(l) for the symmetric variant
+		arr func(l int) int
+	}
+	families := []family{
+		{"HSN", hsn, factorial},
+		{"SFN", superFlip, factorial},
+		{"ringCN", ringCN, func(l int) int { return l }},
+		{"CN", completeCN, func(l int) int { return l }},
+		{"dirCN", dirCN, func(l int) int { return l }},
+	}
+	for _, fam := range families {
+		for _, n := range []int{2, 3} {
+			for _, l := range []int{2, 3} {
+				if fam.name == "ringCN" && l < 3 {
+					continue // for l = 2, L and R coincide; covered by HSN/CN
+				}
+				M := 1 << n // nucleusQ(n) has 2^n states
+				for _, sym := range []bool{false, true} {
+					s := fam.mk(l, nucleusQ(n), sym)
+					_, ix, err := s.Build(BuildOptions{})
+					if err != nil {
+						t.Fatalf("%s(%d;Q%d) sym=%v: %v", fam.name, l, n, sym, err)
+					}
+					want := pow(M, l)
+					if sym {
+						want *= fam.arr(l)
+					}
+					if ix.N() != want {
+						t.Errorf("%s(%d;Q%d) sym=%v: N = %d, want %d",
+							fam.name, l, n, sym, ix.N(), want)
+					}
+					// Cross-check against the model's own prediction.
+					if predicted, err := s.ExpectedSize(); err != nil {
+						t.Fatalf("%s(%d;Q%d): ExpectedSize: %v", fam.name, l, n, err)
+					} else if predicted != ix.N() {
+						t.Errorf("%s(%d;Q%d) sym=%v: ExpectedSize = %d, built %d",
+							fam.name, l, n, sym, predicted, ix.N())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantRegularityAndDegree checks the degree law on symmetric
+// variants: distinct-seed super-IP graphs are Cayley graphs, hence regular,
+// and with all generator images distinct their degree is exactly the
+// generator count d_N + d_S (Theorem 3.1's upper bound met with equality).
+func TestInvariantRegularityAndDegree(t *testing.T) {
+	cases := []struct {
+		name   string
+		s      *SuperIP
+		degree int
+	}{
+		{"sym-HSN(3;Q2)", hsn(3, nucleusQ(2), true), 2 + 2},
+		{"sym-HSN(2;Q3)", hsn(2, nucleusQ(3), true), 3 + 1},
+		{"sym-SFN(3;Q2)", superFlip(3, nucleusQ(2), true), 2 + 2},
+		{"sym-ringCN(3;Q2)", ringCN(3, nucleusQ(2), true), 2 + 2},
+		{"sym-CN(3;Q2)", completeCN(3, nucleusQ(2), true), 2 + 2},
+	}
+	for _, c := range cases {
+		g, ix, err := c.s.Build(BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !g.IsRegular() {
+			t.Errorf("%s: symmetric super-IP graphs are Cayley graphs and must be regular (degrees %d..%d)",
+				c.name, g.MinDegree(), g.MaxDegree())
+		}
+		if g.MaxDegree() != c.degree {
+			t.Errorf("%s: degree = %d, want %d", c.name, g.MaxDegree(), c.degree)
+		}
+		if id := ix.ID(c.s.SeedLabel()); id != 0 {
+			t.Errorf("%s: seed must be node 0, got %d", c.name, id)
+		}
+		if !g.Symmetrized().IsConnected() {
+			t.Errorf("%s: IP graphs are connected by construction", c.name)
+		}
+	}
+}
+
+// TestInvariantInverseClosureUndirected checks that generator sets closed
+// under inverse yield undirected graphs and non-closed sets directed ones,
+// across the family grid.
+func TestInvariantInverseClosureUndirected(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *SuperIP
+	}{
+		{"HSN(2;Q2)", hsn(2, nucleusQ(2), false)},
+		{"HSN(3;Q3)", hsn(3, nucleusQ(3), false)},
+		{"SFN(3;Q2)", superFlip(3, nucleusQ(2), false)},
+		{"ringCN(3;Q2)", ringCN(3, nucleusQ(2), false)},
+		{"CN(3;Q2)", completeCN(3, nucleusQ(2), false)},
+		{"dirCN(3;Q2)", dirCN(3, nucleusQ(2), false)},
+		{"dirCN(2;Q2)", dirCN(2, nucleusQ(2), false)}, // L = R for l=2: closed
+		{"sym-dirCN(3;Q2)", dirCN(3, nucleusQ(2), true)},
+	}
+	for _, c := range cases {
+		ip := c.s.IPGraph()
+		closed := perm.ClosedUnderInverse(ip.Gens)
+		g, _, err := c.s.Build(BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if g.Directed == closed {
+			t.Errorf("%s: inverse-closed=%v but directed=%v", c.name, closed, g.Directed)
+		}
+		if g.Directed {
+			// Directed IP graphs must still be strongly connected: every
+			// generator is a permutation, so its action is invertible.
+			if !g.IsConnected() {
+				t.Errorf("%s: directed IP graph must be strongly connected", c.name)
+			}
+		}
+	}
+}
+
+// TestInvariantBFSLevelOrder checks the id-assignment contract both builders
+// share: node ids are nondecreasing in BFS distance from the seed, so the
+// index order is a valid level order (this is what makes the parallel
+// level-synchronous assignment equivalent to the sequential one).
+func TestInvariantBFSLevelOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := hsn(3, nucleusQ(2), true)
+		g, ix, err := s.Build(BuildOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := g.Symmetrized().BFS(0)
+		for id := 1; id < ix.N(); id++ {
+			if dist[id] < dist[id-1] {
+				t.Fatalf("workers=%d: node %d at distance %d precedes node %d at distance %d",
+					workers, id-1, dist[id-1], id, dist[id])
+			}
+		}
+	}
+}
+
+// TestInvariantLimitSequential is the regression test for Limit enforcement
+// on the sequential path: the error must name the family, report the
+// attempted vertex count, and fire before the over-limit node contributes
+// arcs (no partial result escapes).
+func TestInvariantLimitSequential(t *testing.T) {
+	var gens []perm.Perm
+	for i := 1; i < 7; i++ {
+		gens = append(gens, perm.Transposition(7, 0, i))
+	}
+	ip := Cayley("S7", gens, nil)
+	g, ix, err := ip.BuildSeq(BuildOptions{Limit: 100})
+	if err == nil {
+		t.Fatal("expected limit error for 7! nodes")
+	}
+	if g != nil || ix != nil {
+		t.Fatal("limit violation must not return a partial graph")
+	}
+	want := "core: S7 exceeds vertex limit 100 (attempted 101 vertices)"
+	if err.Error() != want {
+		t.Fatalf("limit error = %q, want %q", err, want)
+	}
+}

@@ -238,7 +238,9 @@ func (s *SuperIP) nucleus() (*nucleusInfo, error) {
 		Seed: s.nucleusSeed(),
 		Gens: s.Nucleus.Gens,
 	}
-	g, ix, err := ipn.Build(BuildOptions{})
+	// Nucleus graphs are small (M nodes); the sequential builder avoids
+	// pointless per-level worker spawning.
+	g, ix, err := ipn.Build(BuildOptions{Workers: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +309,8 @@ func (s *SuperIP) ExpectedSize() (int, error) {
 	return size, nil
 }
 
-// Build enumerates the full super-IP graph.
+// Build enumerates the full super-IP graph. BuildOptions.Workers selects
+// sequential vs parallel enumeration; the result is identical either way.
 func (s *SuperIP) Build(opt BuildOptions) (*graph.Graph, *Index, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, err

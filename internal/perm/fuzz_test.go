@@ -1,0 +1,115 @@
+package perm
+
+import (
+	"testing"
+)
+
+// FuzzPermParse feeds arbitrary strings to the cycle-notation parser and, for
+// every string it accepts, demands full round-trip coherence: the parsed
+// permutation validates, re-renders to a string that parses back to the same
+// permutation, and survives the one-line notation round trip too.
+func FuzzPermParse(f *testing.F) {
+	f.Add("", 4)
+	f.Add("()", 4)
+	f.Add("(1 2)", 4)
+	f.Add("(1 2)(3 4)", 4)
+	f.Add("(1 2 3 4)", 4)
+	f.Add("(1 2 3)(4 5)", 6)
+	f.Add("(2 1)", 2)
+	f.Add("(1 9)", 4)       // out of range: must error, not panic
+	f.Add("(1 1)", 4)       // repeated index: must error
+	f.Add("(1 2", 4)        // unterminated
+	f.Add("1 2)", 4)        // missing open
+	f.Add("(a b)", 4)       // non-numeric
+	f.Add("((1 2))", 4)     // nested
+	f.Add("(0 1)", 4)       // cycle notation is 1-based; 0 must error
+	f.Add("(-1 2)", 4)      // negative
+	f.Add("(1 2)(2 3)", 4)  // overlapping cycles: must error
+	f.Add("(1 2) (3 4)", 4) // interior spaces
+
+	f.Fuzz(func(t *testing.T, s string, k int) {
+		if k < 0 || k > 64 {
+			t.Skip()
+		}
+		p, err := ParseCycles(s, k) // must never panic
+		if err != nil {
+			return
+		}
+		if len(p) != k {
+			t.Fatalf("ParseCycles(%q, %d) returned size %d", s, k, len(p))
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseCycles(%q, %d) accepted invalid perm %v: %v", s, k, p, err)
+		}
+
+		// Cycle-notation round trip.
+		back, err := ParseCycles(p.String(), k)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", p.String(), s, err)
+		}
+		if !p.Equal(back) {
+			t.Fatalf("cycle round trip %q -> %v -> %q -> %v", s, p, p.String(), back)
+		}
+
+		// One-line-notation round trip.
+		ol, err := ParseOneLine(p.OneLine())
+		if err != nil {
+			t.Fatalf("ParseOneLine(%q) failed: %v", p.OneLine(), err)
+		}
+		if !p.Equal(ol) {
+			t.Fatalf("one-line round trip %v -> %q -> %v", p, p.OneLine(), ol)
+		}
+
+		// Inverse composes to the identity on both sides.
+		inv := p.Inverse()
+		if !Compose(p, inv).IsIdentity() || !Compose(inv, p).IsIdentity() {
+			t.Fatalf("p * p^-1 != id for %v", p)
+		}
+
+		// Apply agrees with the definition y[i] = x[p[i]].
+		x := make([]byte, k)
+		for i := range x {
+			x[i] = byte(i * 3)
+		}
+		y := make([]byte, k)
+		p.Apply(y, x)
+		for i := range y {
+			if y[i] != x[p[i]] {
+				t.Fatalf("Apply: y[%d] = %d, want x[p[%d]] = %d", i, y[i], i, x[p[i]])
+			}
+		}
+	})
+}
+
+// FuzzParseOneLine feeds arbitrary strings to the one-line parser; accepted
+// inputs must validate and round-trip through OneLine().
+func FuzzParseOneLine(f *testing.F) {
+	f.Add("[0 1 2]")
+	f.Add("[2 1 0]")
+	f.Add("[]")
+	f.Add("[0]")
+	f.Add("[1 0")    // unterminated
+	f.Add("0 1]")    // missing open
+	f.Add("[0 0]")   // repeated
+	f.Add("[0 7]")   // out of range
+	f.Add("[-1 0]")  // negative
+	f.Add("[a b]")   // non-numeric
+	f.Add("[0  1 ]") // odd spacing
+
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 256 {
+			t.Skip()
+		}
+		p, err := ParseOneLine(s) // must never panic
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseOneLine(%q) accepted invalid perm %v: %v", s, p, err)
+		}
+		back, err := ParseOneLine(p.OneLine())
+		if err != nil || !p.Equal(back) {
+			t.Fatalf("round trip %q -> %v -> %q -> %v (%v)", s, p, p.OneLine(), back, err)
+		}
+	})
+}

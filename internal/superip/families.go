@@ -52,6 +52,11 @@ type Net struct {
 	L         int
 	Nucleus   NucleusSpec
 	Symmetric bool
+	// Workers is passed through to core.BuildOptions.Workers: 1 forces the
+	// sequential enumerator, n > 1 the n-worker parallel one, 0 the default
+	// (core.DefaultWorkers, then GOMAXPROCS). The built graph is identical
+	// for every setting.
+	Workers int
 
 	s *core.SuperIP // lazily assembled
 }
@@ -247,10 +252,7 @@ func (n *Net) IDiameter() int {
 
 // Build realizes the network (refusing absurdly large instances).
 func (n *Net) Build() (*graph.Graph, error) {
-	if n.N() > 1<<21 {
-		return nil, fmt.Errorf("superip: %s with %d nodes is too large to build", n.Name(), n.N())
-	}
-	g, _, err := n.Super().Build(core.BuildOptions{})
+	g, _, err := n.BuildWithIndex()
 	return g, err
 }
 
@@ -259,7 +261,7 @@ func (n *Net) BuildWithIndex() (*graph.Graph, *core.Index, error) {
 	if n.N() > 1<<21 {
 		return nil, nil, fmt.Errorf("superip: %s with %d nodes is too large to build", n.Name(), n.N())
 	}
-	return n.Super().Build(core.BuildOptions{})
+	return n.Super().Build(core.BuildOptions{Workers: n.Workers})
 }
 
 // Router returns a Theorem 4.1/4.3 router for the network.
