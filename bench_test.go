@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/superip"
 	"repro/internal/symbols"
+	"repro/internal/topo"
 )
 
 // Each benchmark regenerates one of the paper's evaluation artifacts, so
@@ -191,6 +192,35 @@ func BenchmarkRouting(b *testing.B) {
 		src := ix.Label(int32(i % ix.N()))
 		dst := ix.Label(int32((i * 2654435761) % ix.N()))
 		if _, err := r.Route(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgebraicRoute measures end-to-end id-space routing on the
+// implicit topology of sym-HSN(3;Q4): unrank src and dst, compute the
+// Theorem 4.3 route, rank every intermediate label back to an id — the
+// whole per-packet cost of routing without a materialized graph.
+func BenchmarkAlgebraicRoute(b *testing.B) {
+	net := superip.HSN(3, superip.NucleusHypercube(4)).SymmetricVariant()
+	r, err := topo.NewAlgebraic(net.Super())
+	if err != nil {
+		b.Fatal(err)
+	}
+	imp, err := topo.NewImplicit(net.Super())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := imp.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := int64(i) % n
+		dst := (int64(i) * 2654435761) % n
+		if src == dst {
+			continue
+		}
+		if _, err := r.Path(src, dst); err != nil {
 			b.Fatal(err)
 		}
 	}

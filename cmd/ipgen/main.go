@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/networks"
 	"repro/internal/superip"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -52,6 +53,9 @@ func main() {
 		par     = flag.Bool("parallel", true, "use the parallel level-synchronous enumerator (identical output)")
 		workers = flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
 		bonly   = flag.Bool("buildonly", false, "skip all-pairs statistics; report size, degree, and build time only")
+		impl    = flag.Bool("implicit", false, "super-IP families: skip the build entirely and report analytic plus sampled-route statistics from the implicit topology")
+		pairs   = flag.Int("pairs", 2000, "sampled (src,dst) pairs for -implicit route statistics")
+		seed    = flag.Int64("seed", 1, "sampling seed for -implicit")
 	)
 	analyze = func(g *graph.Graph) {
 		if *kappa {
@@ -93,6 +97,10 @@ func main() {
 
 	switch *netName {
 	case "HSN", "ringCN", "CN", "dirCN", "SFN", "RCC":
+		if *impl {
+			runImplicit(*netName, *l, *nucleus, *sym, *pairs, *seed)
+			return
+		}
 		runSuperIP(*netName, *l, *nucleus, *sym, *dot, *istats)
 	case "QCN":
 		q := superip.QuotientCN{L: *l, A: *a, B: *b}
@@ -184,7 +192,7 @@ func nucleusSpec(s string) (superip.NucleusSpec, error) {
 	return superip.NucleusSpec{}, fmt.Errorf("unknown nucleus kind %q", kind)
 }
 
-func runSuperIP(family string, l int, nucleus string, sym, dot, istats bool) {
+func superIPNet(family string, l int, nucleus string, sym bool) *superip.Net {
 	nuc, err := nucleusSpec(nucleus)
 	exitIf(err)
 	var net *superip.Net
@@ -205,6 +213,46 @@ func runSuperIP(family string, l int, nucleus string, sym, dot, istats bool) {
 	if sym {
 		net = net.SymmetricVariant()
 	}
+	return net
+}
+
+// runImplicit reports a super-IP network without ever materializing it: the
+// analytic statistics come from the closed forms, the routed statistics from
+// sampling algebraic routes over the implicit topology. Memory stays O(1) in
+// N, so this works far beyond the -buildonly ceiling.
+func runImplicit(family string, l int, nucleus string, sym bool, pairs int, seed int64) {
+	net := superIPNet(family, l, nucleus, sym)
+	imp, err := topo.NewImplicit(net.Super())
+	exitIf(err)
+	r, err := topo.NewAlgebraic(net.Super())
+	exitIf(err)
+	fmt.Printf("%s: analytic N=%d degree=%d diameter=%d I-diameter=%d modules=%d\n",
+		net.Name(), imp.N(), net.Degree(), net.Diameter(), net.IDiameter(), imp.Modules())
+	start := time.Now()
+	s, err := metrics.SampleRoutes(imp, r, pairs, seed)
+	exitIf(err)
+	elapsed := time.Since(start)
+	fmt.Printf("implicit: pairs=%d avg-hops=%.3f max-hops=%d (bound %d) avg-off-module=%.3f max-off-module=%d (bound %d)\n",
+		s.Pairs, s.AvgHops, s.MaxHops, net.Diameter(), s.AvgOffModule, s.MaxOffModule, net.IDiameter())
+	fmt.Printf("routed-in=%s peak-rss=%s\n", elapsed.Round(time.Millisecond), fmtBytes(peakRSSBytes()))
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix, "unknown" for 0.
+func fmtBytes(b int64) string {
+	switch {
+	case b <= 0:
+		return "unknown"
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%dKiB", b/1024)
+	}
+}
+
+func runSuperIP(family string, l int, nucleus string, sym, dot, istats bool) {
+	net := superIPNet(family, l, nucleus, sym)
 	fmt.Printf("%s: analytic N=%d degree=%d diameter=%d I-diameter=%d\n",
 		net.Name(), net.N(), net.Degree(), net.Diameter(), net.IDiameter())
 	start := time.Now()
@@ -241,9 +289,9 @@ func report(name string, g *graph.Graph, dot bool) {
 		return
 	}
 	if buildOnly {
-		fmt.Printf("%s: N=%d edges=%d degree=%d..%d built-in=%s\n",
+		fmt.Printf("%s: N=%d edges=%d degree=%d..%d built-in=%s peak-rss=%s\n",
 			name, g.N(), g.NumEdges(), g.MinDegree(), g.MaxDegree(),
-			buildElapsed.Round(time.Millisecond))
+			buildElapsed.Round(time.Millisecond), fmtBytes(peakRSSBytes()))
 		if analyze != nil {
 			analyze(g)
 		}

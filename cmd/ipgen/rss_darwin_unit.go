@@ -1,0 +1,6 @@
+//go:build darwin
+
+package main
+
+// maxrssUnit converts ru_maxrss to bytes: macOS reports bytes.
+const maxrssUnit = 1

@@ -1,0 +1,16 @@
+//go:build linux || darwin
+
+package main
+
+import "syscall"
+
+// peakRSSBytes returns the process's peak resident set size in bytes, or 0
+// when the kernel does not report it. Linux reports ru_maxrss in KiB, macOS
+// in bytes; the divisor is chosen per platform at build time.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss) * maxrssUnit
+}

@@ -1,0 +1,6 @@
+//go:build linux
+
+package main
+
+// maxrssUnit converts ru_maxrss to bytes: Linux reports KiB.
+const maxrssUnit = 1024

@@ -1,0 +1,6 @@
+//go:build !linux && !darwin
+
+package main
+
+// peakRSSBytes is unavailable on this platform.
+func peakRSSBytes() int64 { return 0 }

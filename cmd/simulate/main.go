@@ -47,12 +47,14 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/networks"
 	"repro/internal/obs"
 	"repro/internal/superip"
+	"repro/internal/topo"
 )
 
 // expvarProbe mirrors run progress into expvar counters so a -pprof
@@ -87,6 +89,9 @@ func main() {
 		netName = flag.String("net", "HSN", "network: HSN, ringCN, CN, SFN, hypercube, torus")
 		l       = flag.Int("l", 2, "levels (super-IP families)")
 		nucleus = flag.String("nucleus", "Q4", "nucleus: Qn or FQn")
+		sym     = flag.Bool("sym", false, "symmetric (distinct-seed) variant (super-IP families)")
+		routerK = flag.String("router", "bfs", "routing for super-IP runs: bfs (per-destination tables) or algebraic (Theorem 4.1/4.3 label arithmetic, O(1) state per node)")
+		impl    = flag.Bool("implicit", false, "simulate the implicit topology without materializing the graph (super-IP families; forces algebraic routing; incompatible with faults and observability collectors)")
 		dim     = flag.Int("dim", 8, "hypercube dimension")
 		module  = flag.Int("module", 4, "hypercube: module subcube dimension; torus: tile side")
 		rows    = flag.Int("rows", 16, "torus rows")
@@ -129,8 +134,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/ (profiles) and /debug/vars (run counters)\n", ln.Addr())
 	}
 
-	g, part, name, err := buildSystem(*netName, *l, *nucleus, *dim, *module, *rows, *cols)
+	if *impl {
+		if *nFaults > 0 || *histOn || *tsFile != "" || *traceFile != "" || *topLinks > 0 || *pprofAddr != "" {
+			exitIf(fmt.Errorf("-implicit supports none of -faults, -hist, -timeseries, -trace, -toplinks, -pprof (the sparse simulator has no probe hooks)"))
+		}
+		runImplicitSweep(*netName, *l, *nucleus, *sym,
+			parseInts(*ratios), parseFloats(*rates), *cycles, *warmup, *seed)
+		return
+	}
+
+	g, part, name, net, ix, err := buildSystem(*netName, *l, *nucleus, *sym, *dim, *module, *rows, *cols)
 	exitIf(err)
+
+	var router netsim.Router
+	switch *routerK {
+	case "bfs":
+	case "algebraic":
+		if net == nil {
+			exitIf(fmt.Errorf("-router=algebraic requires a super-IP family (got %q)", *netName))
+		}
+		ar, err := topo.NewAlgebraicWith(net.Super(), topo.NewMaterialized(g, ix))
+		exitIf(err)
+		router = ar
+	default:
+		exitIf(fmt.Errorf("unknown -router %q (want bfs or algebraic)", *routerK))
+	}
 
 	ist := metrics.IStats(g, part)
 	fmt.Printf("%s: N=%d modules=%d I-degree=%.2f I-diameter=%d II-cost=%.2f\n",
@@ -204,6 +232,7 @@ func main() {
 				MeasureCycles:   *cycles,
 				Seed:            *seed,
 				Probe:           obs.Multi(probes...),
+				Router:          router,
 			}
 			if plan == nil {
 				st, err := netsim.Run(cfg)
@@ -287,60 +316,115 @@ func writeTo(name string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func buildSystem(name string, l int, nucleus string, dim, module, rows, cols int) (*graph.Graph, metrics.Partition, string, error) {
+// superNet assembles the super-IP specification for the simulate families.
+func superNet(name string, l int, nucleus string, sym bool) (*superip.Net, error) {
+	var nuc superip.NucleusSpec
+	switch {
+	case strings.HasPrefix(nucleus, "FQ"):
+		n, err := strconv.Atoi(nucleus[2:])
+		if err != nil {
+			return nil, err
+		}
+		nuc = superip.NucleusFoldedHypercube(n)
+	case strings.HasPrefix(nucleus, "Q"):
+		n, err := strconv.Atoi(nucleus[1:])
+		if err != nil {
+			return nil, err
+		}
+		nuc = superip.NucleusHypercube(n)
+	default:
+		return nil, fmt.Errorf("unknown nucleus %q", nucleus)
+	}
+	var net *superip.Net
+	switch name {
+	case "HSN":
+		net = superip.HSN(l, nuc)
+	case "ringCN":
+		net = superip.RingCN(l, nuc)
+	case "CN":
+		net = superip.CompleteCN(l, nuc)
+	case "SFN":
+		net = superip.SuperFlip(l, nuc)
+	default:
+		return nil, fmt.Errorf("unknown super-IP family %q", name)
+	}
+	if sym {
+		net = net.SymmetricVariant()
+	}
+	return net, nil
+}
+
+// buildSystem materializes the requested network. For super-IP families it
+// also returns the specification and label index so callers can attach the
+// algebraic router; both are nil for classical networks.
+func buildSystem(name string, l int, nucleus string, sym bool, dim, module, rows, cols int) (*graph.Graph, metrics.Partition, string, *superip.Net, *core.Index, error) {
 	switch name {
 	case "HSN", "ringCN", "CN", "SFN":
-		var nuc superip.NucleusSpec
-		switch {
-		case strings.HasPrefix(nucleus, "FQ"):
-			n, err := strconv.Atoi(nucleus[2:])
-			if err != nil {
-				return nil, metrics.Partition{}, "", err
-			}
-			nuc = superip.NucleusFoldedHypercube(n)
-		case strings.HasPrefix(nucleus, "Q"):
-			n, err := strconv.Atoi(nucleus[1:])
-			if err != nil {
-				return nil, metrics.Partition{}, "", err
-			}
-			nuc = superip.NucleusHypercube(n)
-		default:
-			return nil, metrics.Partition{}, "", fmt.Errorf("unknown nucleus %q", nucleus)
-		}
-		var net *superip.Net
-		switch name {
-		case "HSN":
-			net = superip.HSN(l, nuc)
-		case "ringCN":
-			net = superip.RingCN(l, nuc)
-		case "CN":
-			net = superip.CompleteCN(l, nuc)
-		case "SFN":
-			net = superip.SuperFlip(l, nuc)
+		net, err := superNet(name, l, nucleus, sym)
+		if err != nil {
+			return nil, metrics.Partition{}, "", nil, nil, err
 		}
 		g, ix, err := net.BuildWithIndex()
 		if err != nil {
-			return nil, metrics.Partition{}, "", err
+			return nil, metrics.Partition{}, "", nil, nil, err
 		}
-		return g, metrics.NucleusPartition(ix, net.Nucleus.Nuc.M()), net.Name(), nil
+		return g, metrics.NucleusPartition(ix, net.Nucleus.Nuc.M()), net.Name(), net, ix, nil
 	case "hypercube":
 		g, err := networks.Hypercube{Dim: dim}.Build()
 		if err != nil {
-			return nil, metrics.Partition{}, "", err
+			return nil, metrics.Partition{}, "", nil, nil, err
 		}
-		return g, metrics.SubcubePartition(g.N(), module), fmt.Sprintf("Q%d/Q%d", dim, module), nil
+		return g, metrics.SubcubePartition(g.N(), module), fmt.Sprintf("Q%d/Q%d", dim, module), nil, nil, nil
 	case "torus":
 		g, err := networks.Torus2D{Rows: rows, Cols: cols}.Build()
 		if err != nil {
-			return nil, metrics.Partition{}, "", err
+			return nil, metrics.Partition{}, "", nil, nil, err
 		}
 		p, err := metrics.GridPartition(rows, cols, module, module)
 		if err != nil {
-			return nil, metrics.Partition{}, "", err
+			return nil, metrics.Partition{}, "", nil, nil, err
 		}
-		return g, p, fmt.Sprintf("torus(%dx%d)/%dx%d", rows, cols, module, module), nil
+		return g, p, fmt.Sprintf("torus(%dx%d)/%dx%d", rows, cols, module, module), nil, nil, nil
 	}
-	return nil, metrics.Partition{}, "", fmt.Errorf("unknown network %q", name)
+	return nil, metrics.Partition{}, "", nil, nil, fmt.Errorf("unknown network %q", name)
+}
+
+// runImplicitSweep is the -implicit path: the ratio x rate sweep of main,
+// executed by the sparse simulator over the implicit topology with algebraic
+// routing. Nothing O(N) is allocated, so instances far beyond the
+// materializable ceiling (superip.Net.Build refuses N > 2^21) simulate in
+// memory proportional to the in-flight packet population.
+func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []int, rates []float64, cycles, warmup int, seed int64) {
+	net, err := superNet(netName, l, nucleus, sym)
+	exitIf(err)
+	imp, err := topo.NewImplicit(net.Super())
+	exitIf(err)
+	r, err := topo.NewAlgebraic(net.Super())
+	exitIf(err)
+	fmt.Printf("%s (implicit): N=%d modules=%d degree=%d diameter=%d I-diameter=%d\n",
+		net.Name(), imp.N(), imp.Modules(), net.Degree(), net.Diameter(), net.IDiameter())
+	fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s\n",
+		"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat")
+	for _, ratio := range ratios {
+		for _, rate := range rates {
+			cfg := netsim.ImplicitConfig{
+				Topo:            imp,
+				Router:          r,
+				OffModulePeriod: ratio,
+				InjectionRate:   rate,
+				WarmupCycles:    warmup,
+				MeasureCycles:   cycles,
+				Seed:            seed,
+			}
+			if ratio > 1 {
+				cfg.ModuleOf = imp.Module
+			}
+			st, err := netsim.RunImplicit(cfg)
+			exitIf(err)
+			fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d\n",
+				ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency)
+		}
+	}
 }
 
 func parseInts(s string) []int {

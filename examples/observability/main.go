@@ -44,12 +44,16 @@ func main() {
 		Seed:            7,
 	}
 
+	hotspot, err := netsim.Hotspot(0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
 	runs := []struct {
 		name    string
 		pattern netsim.PatternFunc
 	}{
 		{"uniform", nil},
-		{"hotspot(0.25 -> node 0)", netsim.Hotspot(0.25)},
+		{"hotspot(0.25 -> node 0)", hotspot},
 	}
 
 	type result struct {

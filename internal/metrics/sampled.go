@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topo"
+)
+
+// RouteSample summarizes routed distances over sampled (src, dst) pairs of a
+// topology — the implicit-topology counterpart of the exhaustive IStats: at
+// the scales implicit topologies unlock, all-pairs BFS is out of reach, so
+// average distance, routed diameter, and off-module traffic are estimated by
+// sampling algebraic routes instead.
+type RouteSample struct {
+	// Pairs is the number of sampled source/destination pairs.
+	Pairs int
+	// AvgHops and MaxHops summarize routed path lengths. For shortest-path
+	// routers AvgHops estimates the average distance and MaxHops lower-
+	// bounds the diameter; for the paper's algebraic routers MaxHops is also
+	// upper-bounded by l*D_G + t (Theorems 4.1/4.3).
+	AvgHops float64
+	MaxHops int
+	// AvgOffModule and MaxOffModule count hops crossing module boundaries
+	// per route (the II-cost driver), filled when the topology implements
+	// topo.Modular; zero otherwise.
+	AvgOffModule float64
+	MaxOffModule int
+}
+
+// SampleRoutes routes pairs random (src, dst) pairs (src != dst) with r and
+// aggregates hop statistics. Runs are deterministic in seed. Memory is O(1)
+// in the size of t, so it works unchanged on implicit topologies of tens of
+// millions of nodes.
+func SampleRoutes(t topo.Topology, r topo.PathRouter, pairs int, seed int64) (RouteSample, error) {
+	n := t.N()
+	if n < 2 {
+		return RouteSample{}, fmt.Errorf("metrics: need at least 2 nodes")
+	}
+	if pairs < 1 {
+		return RouteSample{}, fmt.Errorf("metrics: need at least 1 pair")
+	}
+	mod, hasModules := t.(topo.Modular)
+	rng := rand.New(rand.NewSource(seed))
+	var s RouteSample
+	var hopSum, offSum int64
+	for i := 0; i < pairs; i++ {
+		src := rng.Int63n(n)
+		dst := rng.Int63n(n - 1)
+		if dst >= src {
+			dst++
+		}
+		p, err := r.Path(src, dst)
+		if err != nil {
+			return s, fmt.Errorf("metrics: route %d -> %d: %w", src, dst, err)
+		}
+		hops := len(p) - 1
+		hopSum += int64(hops)
+		if hops > s.MaxHops {
+			s.MaxHops = hops
+		}
+		if hasModules {
+			off := 0
+			for j := 0; j+1 < len(p); j++ {
+				if mod.Module(p[j]) != mod.Module(p[j+1]) {
+					off++
+				}
+			}
+			offSum += int64(off)
+			if off > s.MaxOffModule {
+				s.MaxOffModule = off
+			}
+		}
+	}
+	s.Pairs = pairs
+	s.AvgHops = float64(hopSum) / float64(pairs)
+	if hasModules {
+		s.AvgOffModule = float64(offSum) / float64(pairs)
+	}
+	return s, nil
+}

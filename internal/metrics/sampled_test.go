@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/superip"
+	"repro/internal/topo"
+)
+
+// TestSampleRoutesHypercube checks the estimator against exact hypercube
+// facts: e-cube paths are Hamming-distance long, so AvgHops approaches
+// dim/2 and MaxHops never exceeds dim.
+func TestSampleRoutesHypercube(t *testing.T) {
+	const dim = 8
+	s, err := SampleRoutes(topo.HypercubeTopo{Dim: dim}, topo.HypercubeRouter{Dim: dim}, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pairs != 2000 {
+		t.Fatalf("pairs = %d", s.Pairs)
+	}
+	if s.MaxHops > dim {
+		t.Fatalf("e-cube route of %d hops exceeds diameter %d", s.MaxHops, dim)
+	}
+	if s.AvgHops < float64(dim)/2-0.5 || s.AvgHops > float64(dim)/2+0.5 {
+		t.Fatalf("AvgHops = %v, want about %v", s.AvgHops, float64(dim)/2)
+	}
+	if s.AvgOffModule != 0 || s.MaxOffModule != 0 {
+		t.Fatalf("hypercube has no modules, got off-module stats %+v", s)
+	}
+}
+
+// TestSampleRoutesImplicitSuperIP checks the estimator over an implicit
+// super-IP topology: routed hops stay within the paper's diameter bound and
+// off-module hops are counted (at least one super-step for cross-module
+// pairs) and never exceed total hops.
+func TestSampleRoutesImplicitSuperIP(t *testing.T) {
+	net := superip.HSN(3, superip.NucleusHypercube(2))
+	imp, err := topo.NewImplicit(net.Super())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := topo.NewAlgebraic(net.Super())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SampleRoutes(imp, r, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxHops > net.Diameter() {
+		t.Fatalf("routed %d hops, paper bound %d", s.MaxHops, net.Diameter())
+	}
+	if s.AvgOffModule <= 0 || s.MaxOffModule > s.MaxHops {
+		t.Fatalf("implausible off-module stats: %+v", s)
+	}
+	if s.AvgHops <= s.AvgOffModule {
+		t.Fatalf("off-module hops %v exceed total hops %v", s.AvgOffModule, s.AvgHops)
+	}
+
+	if _, err := SampleRoutes(imp, r, 0, 1); err == nil {
+		t.Fatal("zero pairs accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/networks"
+	"repro/internal/topo"
 )
 
 // Micro-benchmarks for the simulator's building blocks, sized so one
@@ -74,6 +75,27 @@ func BenchmarkRunFaultyQ6(b *testing.B) {
 	}
 }
 
+// BenchmarkRunImplicitQ6 measures the sparse implicit-topology simulator on
+// the same workload as BenchmarkRunQ6 (Q6, uniform traffic, 1% load), so the
+// two rows in the baseline bound the cost of trading materialized tables for
+// on-the-fly algebraic state.
+func BenchmarkRunImplicitQ6(b *testing.B) {
+	cfg := ImplicitConfig{
+		Topo:          topo.HypercubeTopo{Dim: 6},
+		Router:        topo.HypercubeRouter{Dim: 6},
+		InjectionRate: 0.01,
+		WarmupCycles:  50, MeasureCycles: 300,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := RunImplicit(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHotspotPattern measures destination selection under the skewed
 // traffic pattern (per-packet work on the injection path).
 func BenchmarkHotspotPattern(b *testing.B) {
@@ -83,7 +105,7 @@ func BenchmarkHotspotPattern(b *testing.B) {
 	}
 	cfg := Config{
 		Graph: g, InjectionRate: 0.01, WarmupCycles: 50, MeasureCycles: 300,
-		Pattern: Hotspot(0.2),
+		Pattern: mustHotspot(b, 0.2),
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

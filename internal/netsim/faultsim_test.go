@@ -117,7 +117,7 @@ func TestNodeFaultLosesOnlyAffectedFlows(t *testing.T) {
 	g := mustBuild(t, networks.Hypercube{Dim: 5}.Build)
 	plan := (&FaultPlan{}).NodeDown(500, 0, 0)
 	fs, err := RunFaulty(Config{Graph: g, InjectionRate: 0.1,
-		Pattern: Hotspot(0.5), WarmupCycles: 100, MeasureCycles: 2000, Seed: 31},
+		Pattern: mustHotspot(t, 0.5), WarmupCycles: 100, MeasureCycles: 2000, Seed: 31},
 		FaultConfig{Plan: plan, NotifyDelay: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,318 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Topology is the neighbor oracle consumed by RunImplicit. It is satisfied
+// by the implementations of internal/topo (Implicit, Materialized,
+// HypercubeTopo); declaring it here keeps netsim decoupled from that
+// package. Neighbors must append to buf[:0] and return a sorted,
+// deduplicated, self-loop-free slice.
+type Topology interface {
+	N() int64
+	MaxDegree() int
+	Neighbors(u int64, buf []int64) []int64
+}
+
+// ImplicitConfig parameterizes a simulation over an implicit topology: no
+// per-node arrays are ever allocated, so the memory footprint scales with
+// the number of in-flight packets and busy links, not with N. This is what
+// lets the simulator run super-IP instances 10x and more beyond the largest
+// materializable graph.
+type ImplicitConfig struct {
+	// Topo answers neighbor queries; Router supplies next hops. Both must be
+	// per-node O(1) in memory (e.g. topo.Implicit + topo.Algebraic) for the
+	// run to stay independent of N. Router is mandatory: there is no table
+	// fallback, because BFS tables are exactly the O(N) state this simulator
+	// exists to avoid.
+	Topo   Topology
+	Router Router
+	// InjectionRate is the probability per node per cycle of injecting a
+	// packet. Per-node Bernoulli draws are simulated exactly for small
+	// networks and by a Poisson/normal approximation of the aggregate
+	// injection count for large ones (see injectionCount).
+	InjectionRate float64
+	// WarmupCycles, MeasureCycles, DrainCycles as in Config.
+	WarmupCycles, MeasureCycles, DrainCycles int
+	// Seed makes runs deterministic.
+	Seed int64
+	// Flits and CutThrough as in Config.
+	Flits      int
+	CutThrough bool
+	// OffModulePeriod is the service time of links crossing module
+	// boundaries as decided by ModuleOf; links inside a module (and all
+	// links when ModuleOf is nil) have period 1.
+	OffModulePeriod int
+	// ModuleOf maps a node to its module id (e.g. topo.Modular.Module of the
+	// nucleus-per-module packing). Nil means one module.
+	ModuleOf func(u int64) int64
+	// Pattern picks the destination for a packet injected at src (nil =
+	// uniform random over the other nodes). Returning src skips the
+	// injection, as in PatternFunc.
+	Pattern func(src int64, n int64, rng *rand.Rand) int64
+	// MaxHops aborts the run with an error if any packet exceeds it
+	// (default 4096): algebraic routers are deterministic oracles, and a
+	// buggy one could otherwise cycle a packet forever.
+	MaxHops int
+}
+
+func (cfg *ImplicitConfig) normalize() error {
+	if cfg.Topo == nil || cfg.Topo.N() < 2 {
+		return fmt.Errorf("netsim: need a topology with at least 2 nodes")
+	}
+	if cfg.Router == nil {
+		return fmt.Errorf("netsim: implicit runs need a Router (no table fallback)")
+	}
+	if cfg.InjectionRate < 0 || cfg.InjectionRate > 1 {
+		return fmt.Errorf("netsim: injection rate %v out of [0,1]", cfg.InjectionRate)
+	}
+	if cfg.OffModulePeriod < 1 {
+		cfg.OffModulePeriod = 1
+	}
+	if cfg.DrainCycles == 0 {
+		cfg.DrainCycles = 10 * (cfg.WarmupCycles + cfg.MeasureCycles)
+	}
+	if cfg.Flits < 1 {
+		cfg.Flits = 1
+	}
+	if cfg.MaxHops < 1 {
+		cfg.MaxHops = 4096
+	}
+	return nil
+}
+
+// injectionCount draws the number of packets injected this cycle. Up to
+// 2^16 nodes the per-node Bernoulli draws are simulated exactly, matching
+// the materialized simulator's semantics; beyond that the aggregate count is
+// sampled from the Poisson approximation of Binomial(N, rate) (exact
+// multiplicative sampling for small means, a normal approximation above),
+// because iterating tens of millions of nodes every cycle would dominate the
+// run. Sources are then drawn uniformly, so one node can inject twice in a
+// cycle — a vanishing-probability event at the scales where the
+// approximation is active.
+func injectionCount(n int64, rate float64, rng *rand.Rand) int64 {
+	if n <= 1<<16 {
+		k := int64(0)
+		for i := int64(0); i < n; i++ {
+			if rng.Float64() < rate {
+				k++
+			}
+		}
+		return k
+	}
+	lambda := float64(n) * rate
+	if lambda == 0 {
+		return 0
+	}
+	if lambda < 30 {
+		// Knuth's multiplicative Poisson sampler.
+		limit := math.Exp(-lambda)
+		k := int64(-1)
+		p := 1.0
+		for p > limit {
+			k++
+			p *= rng.Float64()
+		}
+		return k
+	}
+	k := int64(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+type ipacket struct {
+	dst      int64
+	born     int
+	hops     int
+	measured bool
+}
+
+// ilink is the FIFO of one directed link u -> v. Only links that currently
+// hold or recently transmitted a packet exist in memory.
+type ilink struct {
+	u, v   int64
+	queue  []ipacket
+	freeAt int
+}
+
+// RunImplicit executes the simulation against an implicit topology. It is
+// the sparse, per-node-O(1) counterpart of Run: link FIFOs and the future-
+// arrival ring are allocated on demand and reclaimed when idle, and next
+// hops come from the algebraic Router, so total memory is proportional to
+// the in-flight packet population — independent of N. Runs are deterministic
+// in the configuration (including Seed).
+func RunImplicit(cfg ImplicitConfig) (Stats, error) {
+	if err := cfg.normalize(); err != nil {
+		return Stats{}, err
+	}
+	n := cfg.Topo.N()
+	deg := int64(cfg.Topo.MaxDegree())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	period := func(u, v int64) int {
+		if cfg.ModuleOf == nil || cfg.ModuleOf(u) == cfg.ModuleOf(v) {
+			return 1
+		}
+		return cfg.OffModulePeriod
+	}
+
+	// Sparse link state: key = u*deg + port, where port is the index of the
+	// target in u's sorted neighbor list. active keeps insertion order so
+	// iteration (and therefore the whole run) is deterministic.
+	links := make(map[int64]*ilink)
+	var active []int64
+	nbrBuf := make([]int64, 0, deg)
+	linkFor := func(u, v int64) (*ilink, error) {
+		nbrBuf = cfg.Topo.Neighbors(u, nbrBuf)
+		port := sort.Search(len(nbrBuf), func(i int) bool { return nbrBuf[i] >= v })
+		if port == len(nbrBuf) || nbrBuf[port] != v {
+			return nil, fmt.Errorf("netsim: next hop %d from %d is not a neighbor", v, u)
+		}
+		key := u*deg + int64(port)
+		lk, ok := links[key]
+		if !ok {
+			lk = &ilink{u: u, v: v}
+			links[key] = lk
+			active = append(active, key)
+		}
+		return lk, nil
+	}
+
+	maxDelay := cfg.OffModulePeriod * cfg.Flits
+	type iarrival struct {
+		node int64
+		pkt  ipacket
+	}
+	ring := make([][]iarrival, maxDelay+1)
+
+	st := Stats{}
+	var latencySum int64
+	inFlightMeasured := 0
+	enqueue := func(now int, at int64, pkt ipacket) error {
+		if pkt.dst == at {
+			if pkt.measured {
+				st.Delivered++
+				lat := now - pkt.born
+				latencySum += int64(lat)
+				if lat > st.MaxLatency {
+					st.MaxLatency = lat
+				}
+			}
+			return nil
+		}
+		if pkt.hops >= cfg.MaxHops {
+			return fmt.Errorf("netsim: packet for %d exceeded %d hops at %d (router livelock?)", pkt.dst, cfg.MaxHops, at)
+		}
+		nh, err := cfg.Router.NextHop(at, pkt.dst)
+		if err != nil {
+			return err
+		}
+		lk, err := linkFor(at, nh)
+		if err != nil {
+			return err
+		}
+		lk.queue = append(lk.queue, pkt)
+		return nil
+	}
+
+	uniformDst := func(src int64) int64 {
+		d := rng.Int63n(n - 1)
+		if d >= src {
+			d++
+		}
+		return d
+	}
+
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	deadline := total + cfg.DrainCycles
+	for now := 0; now < deadline; now++ {
+		// Deliver arrivals scheduled for this cycle.
+		slot := now % len(ring)
+		for _, a := range ring[slot] {
+			if a.pkt.measured && a.pkt.dst == a.node {
+				inFlightMeasured--
+			}
+			if err := enqueue(now, a.node, a.pkt); err != nil {
+				return st, err
+			}
+		}
+		ring[slot] = ring[slot][:0]
+		// Inject new traffic.
+		if now < total {
+			for k := injectionCount(n, cfg.InjectionRate, rng); k > 0; k-- {
+				src := rng.Int63n(n)
+				var dst int64
+				if cfg.Pattern != nil {
+					dst = cfg.Pattern(src, n, rng)
+				} else {
+					dst = uniformDst(src)
+				}
+				if dst == src || dst < 0 || dst >= n {
+					continue
+				}
+				measured := now >= cfg.WarmupCycles
+				if measured {
+					st.Injected++
+					inFlightMeasured++
+				}
+				if err := enqueue(now, src, ipacket{dst: dst, born: now, measured: measured}); err != nil {
+					return st, err
+				}
+			}
+		} else if inFlightMeasured == 0 {
+			break
+		}
+		// Advance links: each free link transmits the head of its queue.
+		// Idle links (empty queue, service period elapsed) are dropped from
+		// the map; compaction preserves order for determinism.
+		live := active[:0]
+		for _, key := range active {
+			lk := links[key]
+			if len(lk.queue) == 0 {
+				if lk.freeAt <= now {
+					delete(links, key)
+					continue
+				}
+				live = append(live, key)
+				continue
+			}
+			if lk.freeAt > now {
+				live = append(live, key)
+				continue
+			}
+			pkt := lk.queue[0]
+			lk.queue = lk.queue[1:]
+			if len(lk.queue) == 0 {
+				lk.queue = nil // release the backing array of drained FIFOs
+			}
+			p := period(lk.u, lk.v)
+			occupy := p * cfg.Flits
+			lk.freeAt = now + occupy
+			delay := occupy
+			if cfg.CutThrough {
+				delay = p
+			}
+			pkt.hops++
+			ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], iarrival{node: lk.v, pkt: pkt})
+			live = append(live, key)
+		}
+		active = live
+	}
+	st.Expired = inFlightMeasured
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(latencySum) / float64(st.Delivered)
+	}
+	if cfg.MeasureCycles > 0 {
+		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
+	}
+	return st, nil
+}

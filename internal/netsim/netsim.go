@@ -63,6 +63,14 @@ type Config struct {
 	// Must return >= 1 for every link of the graph; Run validates this up
 	// front and returns an error on violation.
 	PeriodFunc func(u, v int32) int
+	// Router, when non-nil, supplies next hops instead of the lazily built
+	// per-destination BFS tables — typically a topo.Router such as the
+	// algebraic super-IP router, whose per-node state is O(1) in the network
+	// size. The router must make progress toward dst on the simulated graph:
+	// every NextHop result must be a neighbor of the current node. Router is
+	// incompatible with Adaptive (a router is a deterministic oracle; the
+	// adaptive path needs the full minimal-next-hop sets).
+	Router Router
 	// Probe, when non-nil, receives per-event callbacks during the run
 	// (injection, queueing, transmission, delivery, drops, retransmission,
 	// faults, reroutes) — see internal/obs for the hook contract and the
@@ -96,6 +104,9 @@ func (cfg *Config) normalize() error {
 	if cfg.Pattern == nil {
 		cfg.Pattern = Uniform
 	}
+	if cfg.Router != nil && cfg.Adaptive {
+		return fmt.Errorf("netsim: Router and Adaptive are mutually exclusive")
+	}
 	if cfg.PeriodFunc != nil {
 		for u := 0; u < g.N(); u++ {
 			for _, v := range g.Neighbors(int32(u)) {
@@ -124,6 +135,14 @@ func (cfg *Config) maxServicePeriod() int {
 		}
 	}
 	return maxPeriod
+}
+
+// Router is the per-hop routing oracle consumed by Run when Config.Router is
+// set. It is satisfied by the routers of internal/topo (Table, Algebraic,
+// HypercubeRouter, StarRouter); declaring it here keeps netsim decoupled from
+// that package.
+type Router interface {
+	NextHop(cur, dst int64) (int64, error)
 }
 
 // PatternFunc picks a destination for a packet injected at src; returning
@@ -179,14 +198,19 @@ func BitComplement(src int32, n int, _ *rand.Rand) int32 {
 }
 
 // Hotspot returns a pattern that sends traffic to node 0 with probability
-// p and uniformly otherwise.
-func Hotspot(p float64) PatternFunc {
+// p and uniformly otherwise. p must lie in [0,1]: anything else would
+// silently clamp inside rng.Float64() comparisons (p<0 behaves as 0, p>1 as
+// 1) and misreport the offered hotspot fraction, so it is rejected instead.
+func Hotspot(p float64) (PatternFunc, error) {
+	if p < 0 || p > 1 || p != p {
+		return nil, fmt.Errorf("netsim: hotspot probability %v out of [0,1]", p)
+	}
 	return func(src int32, n int, rng *rand.Rand) int32 {
 		if rng.Float64() < p && src != 0 {
 			return 0
 		}
 		return Uniform(src, n, rng)
-	}
+	}, nil
 }
 
 // Stats reports the outcome of a run.
@@ -253,6 +277,13 @@ func Run(cfg Config) (Stats, error) {
 		allTables = make([][][]int32, n)
 	}
 	nextHop := func(cur, dst int32) (int32, error) {
+		if cfg.Router != nil {
+			nh, err := cfg.Router.NextHop(int64(cur), int64(dst))
+			if err != nil {
+				return 0, err
+			}
+			return int32(nh), nil
+		}
 		if cfg.Adaptive {
 			if allTables[dst] == nil {
 				allTables[dst] = route.BFSAllNextHops(g, dst)
@@ -329,7 +360,10 @@ func Run(cfg Config) (Stats, error) {
 		if err != nil {
 			return err
 		}
-		slot := slotOf[at][nh]
+		slot, ok := slotOf[at][nh]
+		if !ok {
+			return fmt.Errorf("netsim: next hop %d from %d toward %d is not a neighbor", nh, at, pkt.dst)
+		}
 		links[at][slot].queue = append(links[at][slot].queue, pkt)
 		if pb != nil {
 			pb.Enqueue(now, pkt.id, at, nh, len(links[at][slot].queue))

@@ -201,10 +201,36 @@ func TestPatterns(t *testing.T) {
 		}
 		seen[d] = true
 	}
-	hs := Hotspot(1.0)
+	hs := mustHotspot(t, 1.0)
 	r := rand.New(rand.NewSource(1))
 	if got := hs(5, 16, r); got != 0 {
 		t.Fatalf("Hotspot(1.0) = %d, want 0", got)
+	}
+}
+
+// mustHotspot builds a hotspot pattern, failing the test on an invalid p.
+func mustHotspot(tb testing.TB, p float64) PatternFunc {
+	tb.Helper()
+	pat, err := Hotspot(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pat
+}
+
+// TestHotspotBounds pins the validity boundary of the hotspot probability:
+// both endpoints of [0,1] are legal patterns, anything outside is rejected
+// with an error.
+func TestHotspotBounds(t *testing.T) {
+	for _, p := range []float64{0, 1} {
+		if _, err := Hotspot(p); err != nil {
+			t.Fatalf("Hotspot(%v): unexpected error %v", p, err)
+		}
+	}
+	for _, p := range []float64{-0.001, 1.001, -1, 2} {
+		if _, err := Hotspot(p); err == nil {
+			t.Fatalf("Hotspot(%v): expected error, got nil", p)
+		}
 	}
 }
 
@@ -213,7 +239,7 @@ func TestPatternTrafficRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pat := range []PatternFunc{Transpose, BitComplement, Hotspot(0.2)} {
+	for _, pat := range []PatternFunc{Transpose, BitComplement, mustHotspot(t, 0.2)} {
 		st, err := Run(Config{Graph: g, InjectionRate: 0.01, Pattern: pat,
 			WarmupCycles: 100, MeasureCycles: 1000, Seed: 4})
 		if err != nil {

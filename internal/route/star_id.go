@@ -1,0 +1,96 @@
+package route
+
+import "fmt"
+
+// PermRank returns the lexicographic rank (Lehmer code) of a permutation of
+// 0..n-1 — the node id that networks.Star, RotationExchange, and Pancake
+// assign to it, since they enumerate permutations in lexicographic order.
+// It returns an error if p is not a permutation of 0..n-1.
+func PermRank(p []byte) (int32, error) {
+	n := len(p)
+	if n == 0 || n > 12 {
+		return 0, fmt.Errorf("route: permutation length %d out of rankable range", n)
+	}
+	factorials := make([]int64, n)
+	factorials[0] = 1
+	for i := 1; i < n; i++ {
+		factorials[i] = factorials[i-1] * int64(i)
+	}
+	// rank = sum over i of (#{unused values below p[i]}) * (n-1-i)!
+	var used uint16
+	var rank int64
+	for i := 0; i < n; i++ {
+		v := int(p[i])
+		if v < 0 || v >= n || used&(1<<uint(v)) != 0 {
+			return 0, fmt.Errorf("route: %v is not a permutation of 0..%d", p, n-1)
+		}
+		smaller := 0
+		for j := 0; j < v; j++ {
+			if used&(1<<uint(j)) == 0 {
+				smaller++
+			}
+		}
+		used |= 1 << uint(v)
+		rank += int64(smaller) * factorials[n-1-i]
+	}
+	return int32(rank), nil
+}
+
+// PermUnrank returns the permutation of 0..n-1 with lexicographic rank id.
+// It is the inverse of PermRank.
+func PermUnrank(n int, id int32) ([]byte, error) {
+	if n <= 0 || n > 12 {
+		return nil, fmt.Errorf("route: permutation length %d out of rankable range", n)
+	}
+	factorials := make([]int64, n)
+	factorials[0] = 1
+	for i := 1; i < n; i++ {
+		factorials[i] = factorials[i-1] * int64(i)
+	}
+	r := int64(id)
+	if r < 0 || r >= factorials[n-1]*int64(n) {
+		return nil, fmt.Errorf("route: rank %d out of range for n=%d", id, n)
+	}
+	avail := make([]byte, n)
+	for i := range avail {
+		avail[i] = byte(i)
+	}
+	p := make([]byte, n)
+	for i := 0; i < n; i++ {
+		f := factorials[n-1-i]
+		k := r / f
+		r %= f
+		p[i] = avail[k]
+		avail = append(avail[:k], avail[k+1:]...)
+	}
+	return p, nil
+}
+
+// StarIDPath routes in the n-star graph directly in node-id space: ids are
+// the lexicographic permutation ranks used by networks.Star, so the returned
+// Path is valid on the built graph without any label translation. The route
+// is the optimal cycle-sorting route of Star; its length equals StarDistance
+// of the relative permutation.
+func StarIDPath(n int, src, dst int32) (Path, error) {
+	sp, err := PermUnrank(n, src)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := PermUnrank(n, dst)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := Star(sp, dp)
+	if err != nil {
+		return nil, err
+	}
+	p := make(Path, len(labels))
+	for i, lab := range labels {
+		id, err := PermRank(lab)
+		if err != nil {
+			return nil, err
+		}
+		p[i] = id
+	}
+	return p, nil
+}

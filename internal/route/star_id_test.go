@@ -1,0 +1,98 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/networks"
+)
+
+// TestPermRankRoundTrip checks that PermRank is the lexicographic rank
+// (identity at 0, reverse at n!-1) and that PermUnrank inverts it, for all
+// permutations up to n=6.
+func TestPermRankRoundTrip(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		total := int32(1)
+		for i := 2; i <= n; i++ {
+			total *= int32(i)
+		}
+		prev := []byte(nil)
+		for id := int32(0); id < total; id++ {
+			p, err := PermUnrank(n, id)
+			if err != nil {
+				t.Fatalf("n=%d: PermUnrank(%d): %v", n, id, err)
+			}
+			if prev != nil && string(prev) >= string(p) {
+				t.Fatalf("n=%d: ids not in lexicographic order at %d: %v >= %v", n, id, prev, p)
+			}
+			prev = append(prev[:0], p...)
+			back, err := PermRank(p)
+			if err != nil {
+				t.Fatalf("n=%d: PermRank(%v): %v", n, p, err)
+			}
+			if back != id {
+				t.Fatalf("n=%d: PermRank(PermUnrank(%d)) = %d", n, id, back)
+			}
+		}
+	}
+	if _, err := PermRank([]byte{0, 0, 2}); err == nil {
+		t.Fatal("repeated symbol accepted")
+	}
+	if _, err := PermRank([]byte{0, 3}); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+	if _, err := PermUnrank(3, 6); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+// TestStarIDPath checks that StarIDPath agrees with the deprecated
+// label-space Star router and that its paths are valid, optimal routes on
+// the graph networks.Star actually builds.
+func TestStarIDPath(t *testing.T) {
+	const n = 5
+	g, err := networks.Star{Symbols: n}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		src := int32(rng.Intn(g.N()))
+		dst := int32(rng.Intn(g.N()))
+		p, err := StarIDPath(n, src, dst)
+		if err != nil {
+			t.Fatalf("StarIDPath(%d, %d): %v", src, dst, err)
+		}
+		if err := p.Validate(g, src, dst); err != nil {
+			t.Fatalf("StarIDPath(%d, %d): %v", src, dst, err)
+		}
+		// Optimality: hops == StarDistance of the relative permutation.
+		sp, _ := PermUnrank(n, src)
+		dp, _ := PermUnrank(n, dst)
+		posInDst := make([]int, n)
+		for i, v := range dp {
+			posInDst[v] = i
+		}
+		rel := make([]byte, n)
+		for i, v := range sp {
+			rel[i] = byte(posInDst[v])
+		}
+		if want := StarDistance(rel); p.Hops() != want {
+			t.Fatalf("StarIDPath(%d, %d): %d hops, want %d", src, dst, p.Hops(), want)
+		}
+		// Agreement with the deprecated label-space form, step by step.
+		labels, err := Star(sp, dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels) != len(p) {
+			t.Fatalf("label path has %d steps, id path %d", len(labels), len(p))
+		}
+		for i, lab := range labels {
+			id, err := PermRank(lab)
+			if err != nil || id != p[i] {
+				t.Fatalf("step %d: label %v ranks to %d (%v), id path has %d", i, lab, id, err, p[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/symbols"
+)
+
+// Implicit is the algebraic implementation of Topology for super-IP graphs:
+// nodes are dense ranks computed in closed form from labels (core.Ranker),
+// and a node's neighbors are generated on the fly by applying the full
+// generator set to its label. Nothing O(N) is ever allocated — the only
+// state is the nucleus index (M entries) and the arrangement subgroup — so
+// an Implicit topology scales to instances whose adjacency lists could
+// never be materialized.
+//
+// Implicit implements Topology, Labeled, and Modular. It is not safe for
+// concurrent use (label scratch buffers are reused across calls).
+type Implicit struct {
+	s        *core.SuperIP
+	rk       *core.Ranker
+	gens     []perm.Perm
+	directed bool
+
+	lblBuf  symbols.Label // current-node label scratch
+	nbrBuf  symbols.Label // neighbor label scratch
+	idBuf   symbols.Label // ID() scratch (distinct: Label() results must survive ID() calls)
+	nameStr string
+}
+
+// NewImplicit builds the implicit topology of a super-IP graph. The only
+// graph ever enumerated is the nucleus (M nodes).
+func NewImplicit(s *core.SuperIP) (*Implicit, error) {
+	rk, err := s.Ranker()
+	if err != nil {
+		return nil, err
+	}
+	ip := s.IPGraph()
+	return &Implicit{
+		s:        s,
+		rk:       rk,
+		gens:     ip.Gens,
+		directed: !perm.ClosedUnderInverse(ip.Gens),
+		lblBuf:   make(symbols.Label, rk.LabelLen()),
+		nbrBuf:   make(symbols.Label, rk.LabelLen()),
+		idBuf:    make(symbols.Label, rk.LabelLen()),
+		nameStr:  s.Name,
+	}, nil
+}
+
+// Super returns the underlying super-IP specification.
+func (t *Implicit) Super() *core.SuperIP { return t.s }
+
+// Ranker returns the id <-> label bijection the topology runs on.
+func (t *Implicit) Ranker() *core.Ranker { return t.rk }
+
+// N returns A * M^l (Theorem 3.2 / Section 3.5) without enumeration.
+func (t *Implicit) N() int64 { return t.rk.N() }
+
+// MaxDegree returns the generator count — the degree bound of the Cayley
+// view. Individual nodes of plain (repeated-seed) graphs may have fewer
+// neighbors where a generator fixes their label.
+func (t *Implicit) MaxDegree() int { return len(t.gens) }
+
+// Directed reports whether the generator set is closed under inverse.
+func (t *Implicit) Directed() bool { return t.directed }
+
+// Neighbors applies every generator to u's label, drops fixed points,
+// ranks the results, and returns them sorted and deduplicated — matching
+// the adjacency contract of the materialized graph exactly.
+func (t *Implicit) Neighbors(u int64, buf []int64) []int64 {
+	t.lblBuf = t.rk.Unrank(u, t.lblBuf)
+	buf = buf[:0]
+	for _, g := range t.gens {
+		g.Apply(t.nbrBuf, t.lblBuf)
+		if t.nbrBuf.Equal(t.lblBuf) {
+			continue // generator fixes this label: a self-loop, not an edge
+		}
+		id, err := t.rk.Rank(t.nbrBuf)
+		if err != nil {
+			// Generators act within the vertex set by construction; an
+			// unrankable image means the specification is inconsistent.
+			panic(fmt.Sprintf("topo: %s: generator image %v of node %d is not a vertex: %v",
+				t.nameStr, t.nbrBuf, u, err))
+		}
+		buf = append(buf, id)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	out := buf[:0]
+	var prev int64 = -1
+	for _, v := range buf {
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}
+
+// Label returns the label of node u. The result aliases internal scratch
+// and is valid until the next Label or Neighbors call.
+func (t *Implicit) Label(u int64) symbols.Label {
+	t.lblBuf = t.rk.Unrank(u, t.lblBuf)
+	return t.lblBuf
+}
+
+// ID returns the rank of a label, or -1 if it is not a vertex.
+func (t *Implicit) ID(x symbols.Label) int64 {
+	id, err := t.rk.Rank(x)
+	if err != nil {
+		return -1
+	}
+	return id
+}
+
+// Modules returns N / M, the module count of the Section 5.3 packing.
+func (t *Implicit) Modules() int64 { return t.rk.Modules() }
+
+// Module returns the module id of node u; it panics if u is out of range.
+func (t *Implicit) Module(u int64) int64 {
+	t.idBuf = t.rk.Unrank(u, t.idBuf)
+	mod, err := t.rk.ModuleOf(t.idBuf)
+	if err != nil {
+		panic(fmt.Sprintf("topo: %s: module of node %d: %v", t.nameStr, u, err))
+	}
+	return mod
+}
+
+// HypercubeTopo is the implicit binary n-cube Q_dim: node ids are bit
+// strings and neighbors differ in exactly one bit. Safe for concurrent use.
+type HypercubeTopo struct{ Dim int }
+
+// N returns 2^Dim.
+func (t HypercubeTopo) N() int64 { return int64(1) << uint(t.Dim) }
+
+// MaxDegree returns Dim.
+func (t HypercubeTopo) MaxDegree() int { return t.Dim }
+
+// Directed reports false: bit flips are involutions.
+func (t HypercubeTopo) Directed() bool { return false }
+
+// Neighbors appends the Dim single-bit flips of u, sorted ascending.
+func (t HypercubeTopo) Neighbors(u int64, buf []int64) []int64 {
+	buf = buf[:0]
+	// Flipping a set bit clears it (smaller id), flipping a clear bit sets
+	// it (larger id); emitting cleared results high-bit-first then set
+	// results low-bit-first yields ascending order without sorting.
+	for bit := t.Dim - 1; bit >= 0; bit-- {
+		if u&(1<<uint(bit)) != 0 {
+			buf = append(buf, u^(1<<uint(bit)))
+		}
+	}
+	for bit := 0; bit < t.Dim; bit++ {
+		if u&(1<<uint(bit)) == 0 {
+			buf = append(buf, u^(1<<uint(bit)))
+		}
+	}
+	return buf
+}
