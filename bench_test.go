@@ -226,6 +226,43 @@ func BenchmarkAlgebraicRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultAwareRoute measures fault-aware routing on the implicit
+// sym-HSN(3;Q4) with a fixed set of live link faults: most pairs route
+// clean (pure wrapper overhead over BenchmarkAlgebraicRoute), the rest pay
+// the generator-conjugate detour derivation.
+func BenchmarkFaultAwareRoute(b *testing.B) {
+	net := superip.HSN(3, superip.NucleusHypercube(4)).SymmetricVariant()
+	r, err := topo.NewAlgebraic(net.Super())
+	if err != nil {
+		b.Fatal(err)
+	}
+	imp, err := topo.NewImplicit(net.Super())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := imp.N()
+	fs := topo.NewFaultSet()
+	fa := topo.NewFaultAware(imp, r, fs)
+	var buf []int64
+	for k := int64(0); k < 16; k++ {
+		u := (k * 40503) % n
+		buf = imp.Neighbors(u, buf)
+		fs.FailLinkBoth(u, buf[int(k)%len(buf)])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := int64(i) % n
+		dst := (int64(i) * 2654435761) % n
+		if src == dst || fs.NodeDown(src) || fs.NodeDown(dst) {
+			continue
+		}
+		if _, err := fa.Path(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEmbedding measures the dilation-3 hypercube-into-HSN embedding
 // check (Section 3.2's embedding claim): Q6 into HSN(2;Q3), every guest
 // edge validated.

@@ -17,6 +17,12 @@
 // (0 = permanent). Faulty runs print loss/retransmission/reroute columns
 // and the latency inflation against the fault-free baseline.
 //
+// Faults compose with -implicit: the plan is drawn in id space and the
+// algebraic router is wrapped in the fault-aware rerouter, so degraded-mode
+// runs work on instances far too large to materialize:
+//
+//	simulate -net HSN -l 4 -nucleus Q5 -sym -implicit -faults 8 -rates 2e-7
+//
 // Observability (see internal/obs):
 //
 //	simulate -net HSN -l 2 -nucleus Q3 -hist -timeseries load.csv -toplinks 5
@@ -91,7 +97,7 @@ func main() {
 		nucleus = flag.String("nucleus", "Q4", "nucleus: Qn or FQn")
 		sym     = flag.Bool("sym", false, "symmetric (distinct-seed) variant (super-IP families)")
 		routerK = flag.String("router", "bfs", "routing for super-IP runs: bfs (per-destination tables) or algebraic (Theorem 4.1/4.3 label arithmetic, O(1) state per node)")
-		impl    = flag.Bool("implicit", false, "simulate the implicit topology without materializing the graph (super-IP families; forces algebraic routing; incompatible with faults and observability collectors)")
+		impl    = flag.Bool("implicit", false, "simulate the implicit topology without materializing the graph (super-IP families; forces algebraic routing; -faults uses the fault-aware algebraic router; incompatible with observability collectors)")
 		dim     = flag.Int("dim", 8, "hypercube dimension")
 		module  = flag.Int("module", 4, "hypercube: module subcube dimension; torus: tile side")
 		rows    = flag.Int("rows", 16, "torus rows")
@@ -135,11 +141,12 @@ func main() {
 	}
 
 	if *impl {
-		if *nFaults > 0 || *histOn || *tsFile != "" || *traceFile != "" || *topLinks > 0 || *pprofAddr != "" {
-			exitIf(fmt.Errorf("-implicit supports none of -faults, -hist, -timeseries, -trace, -toplinks, -pprof (the sparse simulator has no probe hooks)"))
+		if *histOn || *tsFile != "" || *traceFile != "" || *topLinks > 0 || *pprofAddr != "" {
+			exitIf(fmt.Errorf("-implicit supports none of -hist, -timeseries, -trace, -toplinks, -pprof (the sparse simulator has no probe hooks)"))
 		}
 		runImplicitSweep(*netName, *l, *nucleus, *sym,
-			parseInts(*ratios), parseFloats(*rates), *cycles, *warmup, *seed)
+			parseInts(*ratios), parseFloats(*rates), *cycles, *warmup, *seed,
+			*nFaults, *mtbf, *repair, *nodeFrc)
 		return
 	}
 
@@ -393,8 +400,12 @@ func buildSystem(name string, l int, nucleus string, sym bool, dim, module, rows
 // executed by the sparse simulator over the implicit topology with algebraic
 // routing. Nothing O(N) is allocated, so instances far beyond the
 // materializable ceiling (superip.Net.Build refuses N > 2^21) simulate in
-// memory proportional to the in-flight packet population.
-func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []int, rates []float64, cycles, warmup int, seed int64) {
+// memory proportional to the in-flight packet population. With -faults the
+// algebraic router is wrapped in the fault-aware rerouter and the plan is
+// drawn in id space (RandomFaults.PlanTopo) — degraded-mode runs need no
+// graph either.
+func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []int, rates []float64, cycles, warmup int, seed int64,
+	nFaults int, mtbf float64, repair int, nodeFrc float64) {
 	net, err := superNet(netName, l, nucleus, sym)
 	exitIf(err)
 	imp, err := topo.NewImplicit(net.Super())
@@ -403,8 +414,32 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 	exitIf(err)
 	fmt.Printf("%s (implicit): N=%d modules=%d degree=%d diameter=%d I-diameter=%d\n",
 		net.Name(), imp.N(), imp.Modules(), net.Degree(), net.Diameter(), net.IDiameter())
-	fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s\n",
-		"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat")
+
+	var plan *netsim.FaultPlan
+	var fs *topo.FaultSet
+	if nFaults > 0 {
+		plan, err = netsim.RandomFaults{
+			MTBF:         mtbf,
+			RepairTime:   repair,
+			NodeFraction: nodeFrc,
+			Start:        warmup,
+			Horizon:      warmup + cycles,
+			MaxFaults:    nFaults,
+			Seed:         seed,
+		}.PlanTopo(imp)
+		exitIf(err)
+		fs = topo.NewFaultSet()
+		fmt.Printf("fault plan: %d events (mtbf %.0f, repair %d, node fraction %.2f)\n",
+			plan.Len(), mtbf, repair, nodeFrc)
+	}
+
+	if plan == nil {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s\n",
+			"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat")
+	} else {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s\n",
+			"ratio", "rate", "injected", "delivered", "lost", "expired", "drops", "avg-lat", "degraded", "reroutes", "detours")
+	}
 	for _, ratio := range ratios {
 		for _, rate := range rates {
 			cfg := netsim.ImplicitConfig{
@@ -419,10 +454,22 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 			if ratio > 1 {
 				cfg.ModuleOf = imp.Module
 			}
-			st, err := netsim.RunImplicit(cfg)
+			if plan == nil {
+				st, err := netsim.RunImplicit(cfg)
+				exitIf(err)
+				fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d\n",
+					ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency)
+				continue
+			}
+			// Fresh fault state per run: the scheduler re-applies the plan,
+			// and the router's suffix cache starts clean.
+			fs.Reset()
+			cfg.Router = topo.NewFaultAware(imp, r, fs)
+			st, err := netsim.RunImplicitFaulty(cfg, netsim.ImplicitFaultConfig{Plan: plan, Faults: fs})
 			exitIf(err)
-			fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d\n",
-				ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency)
+			fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9d %-9d %-9d\n",
+				ratio, rate, st.Injected, st.Delivered, st.Lost, st.Expired, st.HopLimitDrops,
+				st.AvgLatency, st.DeliveredDegraded, st.RerouteEvents, st.MisroutedHops)
 		}
 	}
 }

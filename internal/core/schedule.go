@@ -148,9 +148,15 @@ func (s *SuperIP) MinCoverSchedule() (*Schedule, error) {
 		return nil, err
 	}
 	full := uint32(1)<<uint(s.L) - 1
+	// Tie-break equal-length schedules on the final arrangement key: dist is
+	// a map, and iteration order must not leak into the chosen schedule —
+	// routers built from the same specification have to route identically.
 	best, found := math.MaxInt, coverState{}
 	for st, d := range dist {
-		if st.mask == full && d < best {
+		if st.mask != full {
+			continue
+		}
+		if d < best || (d == best && st.arr < found.arr) {
 			best, found = d, st
 		}
 	}

@@ -96,6 +96,33 @@ func BenchmarkRunImplicitQ6(b *testing.B) {
 	}
 }
 
+// BenchmarkRunImplicitFaultyQ6 measures the degraded-mode implicit simulator
+// on the BenchmarkRunImplicitQ6 workload plus a small permanent-fault plan,
+// so the baseline bounds what the fault machinery (fault set consultation,
+// change scheduling, reroute bookkeeping) costs over the fault-free path.
+func BenchmarkRunImplicitFaultyQ6(b *testing.B) {
+	ht := topo.HypercubeTopo{Dim: 6}
+	plan := (&FaultPlan{}).
+		LinkDown(60, 0, 1, 0).
+		LinkDown(80, 5, 7, 200).
+		LinkDown(120, 33, 37, 0)
+	cfg := ImplicitConfig{
+		Topo:          ht,
+		InjectionRate: 0.01,
+		WarmupCycles:  50, MeasureCycles: 300,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		fs := topo.NewFaultSet()
+		cfg.Router = topo.NewFaultAware(ht, topo.HypercubeRouter{Dim: 6}, fs)
+		if _, err := RunImplicitFaulty(cfg, ImplicitFaultConfig{Plan: plan, Faults: fs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHotspotPattern measures destination selection under the skewed
 // traffic pattern (per-packet work on the injection path).
 func BenchmarkHotspotPattern(b *testing.B) {

@@ -72,29 +72,66 @@ func (p *FaultPlan) Len() int {
 	return len(p.Events)
 }
 
-// Validate checks every event against the topology: endpoints in range, link
-// events on actual edges, and non-negative cycles.
+// Validate checks every event against a materialized graph. It is a thin
+// wrapper over ValidateTopo, kept for callers that already hold the built
+// graph.
 func (p *FaultPlan) Validate(g *graph.Graph) error {
+	return p.ValidateTopo(graphTopo{g})
+}
+
+// ValidateTopo checks every event against an id-space topology — endpoints
+// in range, link events on actual edges (via the Neighbors oracle), and
+// non-negative cycles — without ever materializing the graph, so fault plans
+// for implicit multi-million-node instances are validated in O(events ·
+// degree). Note FaultEvent ids are int32: on topologies with more than 2^31
+// nodes a plan can only name the first 2^31 of them.
+func (p *FaultPlan) ValidateTopo(t Topology) error {
 	if p == nil {
 		return nil
 	}
+	n := t.N()
+	var buf []int64
 	for i, e := range p.Events {
 		if e.Cycle < 0 {
 			return fmt.Errorf("netsim: fault %d at negative cycle %d", i, e.Cycle)
 		}
-		if e.U < 0 || int(e.U) >= g.N() {
+		if e.U < 0 || int64(e.U) >= n {
 			return fmt.Errorf("netsim: fault %d: node %d out of range", i, e.U)
 		}
 		if e.Kind == LinkFault {
-			if e.V < 0 || int(e.V) >= g.N() {
+			if e.V < 0 || int64(e.V) >= n {
 				return fmt.Errorf("netsim: fault %d: node %d out of range", i, e.V)
 			}
-			if !g.HasEdge(e.U, e.V) {
+			buf = t.Neighbors(int64(e.U), buf)
+			found := false
+			for _, v := range buf {
+				if v == int64(e.V) {
+					found = true
+					break
+				}
+			}
+			if !found {
 				return fmt.Errorf("netsim: fault %d: no link %d-%d in the topology", i, e.U, e.V)
 			}
 		}
 	}
 	return nil
+}
+
+// graphTopo adapts a materialized graph to the Topology interface for
+// validation and plan generation (netsim deliberately does not import
+// internal/topo, whose Materialized type plays the same role).
+type graphTopo struct{ g *graph.Graph }
+
+func (t graphTopo) N() int64       { return int64(t.g.N()) }
+func (t graphTopo) MaxDegree() int { return t.g.MaxDegree() }
+func (t graphTopo) Directed() bool { return t.g.Directed }
+func (t graphTopo) Neighbors(u int64, buf []int64) []int64 {
+	buf = buf[:0]
+	for _, v := range t.g.Neighbors(int32(u)) {
+		buf = append(buf, int64(v))
+	}
+	return buf
 }
 
 // sorted returns the events ordered by strike cycle (stable), leaving the
@@ -164,6 +201,60 @@ func (r RandomFaults) Plan(g *graph.Graph) (*FaultPlan, error) {
 			e := edges[rng.Intn(len(edges))]
 			plan.LinkDown(cycle, e[0], e[1], repair)
 		}
+	}
+	return plan, nil
+}
+
+// PlanTopo draws a deterministic fault schedule for an id-space topology —
+// no edge list is ever built, so it works on implicit multi-million-node
+// instances. Links are sampled node-first (a uniform node, then a uniform
+// neighbor), which matches Plan's uniform-edge draw exactly on regular
+// topologies; the RNG stream differs from Plan's, so the two generators
+// produce different (but individually reproducible) schedules. Node 0 is
+// never killed, as in Plan. Topologies with more than 2^31 nodes are
+// rejected: FaultEvent ids are int32.
+func (r RandomFaults) PlanTopo(t Topology) (*FaultPlan, error) {
+	if r.MTBF <= 0 {
+		return nil, fmt.Errorf("netsim: RandomFaults.MTBF must be positive, got %v", r.MTBF)
+	}
+	if r.NodeFraction < 0 || r.NodeFraction > 1 {
+		return nil, fmt.Errorf("netsim: RandomFaults.NodeFraction %v out of [0,1]", r.NodeFraction)
+	}
+	if r.Horizon <= r.Start {
+		return nil, fmt.Errorf("netsim: RandomFaults window [%d,%d) is empty", r.Start, r.Horizon)
+	}
+	n := t.N()
+	if n > int64(1)<<31 {
+		return nil, fmt.Errorf("netsim: topology has %d nodes; fault events address at most 2^31", n)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	plan := &FaultPlan{}
+	prob := 1 / r.MTBF
+	var buf []int64
+	for cycle := r.Start; cycle < r.Horizon; cycle++ {
+		if r.MaxFaults > 0 && plan.Len() >= r.MaxFaults {
+			break
+		}
+		if rng.Float64() >= prob {
+			continue
+		}
+		repair := 0
+		if r.RepairTime > 0 {
+			repair = cycle + r.RepairTime
+		}
+		if rng.Float64() < r.NodeFraction && n > 1 {
+			plan.NodeDown(cycle, int32(1+rng.Int63n(n-1)), repair)
+			continue
+		}
+		// Sample a link: uniform node, then uniform neighbor. Isolated
+		// nodes (impossible on the connected super-IP families) would make
+		// this strike a no-op, which keeps the stream deterministic.
+		u := rng.Int63n(n)
+		buf = t.Neighbors(u, buf)
+		if len(buf) == 0 {
+			continue
+		}
+		plan.LinkDown(cycle, int32(u), int32(buf[rng.Intn(len(buf))]), repair)
 	}
 	return plan, nil
 }

@@ -105,6 +105,14 @@ type FaultStats struct {
 	// LatencyInflation is AvgLatency divided by the fault-free baseline
 	// latency; it is only filled in by RunFaultyWithBaseline (0 otherwise).
 	LatencyInflation float64
+	// DeliveredDegraded counts measured packets that were delivered over a
+	// route that deviated from the primary algebraic route because of
+	// faults (RunImplicitFaulty with a fault-aware router only).
+	DeliveredDegraded int
+	// HopLimitDrops counts measured packets dropped by the MaxHops
+	// watchdog, a subset of Lost (RunImplicitFaulty only; RunFaulty's
+	// watchdog drops copies, which surface as Lost or Retransmitted).
+	HopLimitDrops int
 }
 
 // fpacket is one in-flight copy of a flow.

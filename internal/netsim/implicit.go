@@ -11,10 +11,12 @@ import (
 // by the implementations of internal/topo (Implicit, Materialized,
 // HypercubeTopo); declaring it here keeps netsim decoupled from that
 // package. Neighbors must append to buf[:0] and return a sorted,
-// deduplicated, self-loop-free slice.
+// deduplicated, self-loop-free slice. Directed tells the fault machinery
+// whether a link fault kills one arc or both.
 type Topology interface {
 	N() int64
 	MaxDegree() int
+	Directed() bool
 	Neighbors(u int64, buf []int64) []int64
 }
 
@@ -134,6 +136,9 @@ type ipacket struct {
 	born     int
 	hops     int
 	measured bool
+	// degraded marks a packet that took at least one fault detour
+	// (RunImplicitFaulty only; always false in fault-free runs).
+	degraded bool
 }
 
 // ilink is the FIFO of one directed link u -> v. Only links that currently

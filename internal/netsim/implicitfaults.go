@@ -1,0 +1,409 @@
+// Degraded-mode simulation over implicit topologies: RunImplicitFaulty is
+// the marriage of RunImplicit (per-node-O(1) memory, never materializes the
+// graph) and RunFaulty (scheduled link/node failures and repairs mid-run).
+// Where RunFaulty repairs routes by rebuilding O(N) BFS tables, the implicit
+// simulator owns no tables at all: it shares a FaultSink (topo.FaultSet)
+// with a fault-aware algebraic router, applies the FaultPlan to it as the
+// clock passes each event, and lets the router's generator-conjugate detours
+// absorb the failures in O(route length) work per affected packet. Fault
+// notification is immediate — the fault set IS the topology's liveness, and
+// the router's epoch check purges stale cached routes the moment it changes
+// — so there is no NotifyDelay and no retransmission protocol; a packet that
+// cannot be rerouted (destination dead, region disconnected, or hop budget
+// exhausted) is dropped and counted rather than recovered end-to-end.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// FaultSink is the id-space liveness store shared between RunImplicitFaulty
+// and a fault-aware router. It is satisfied by *topo.FaultSet; declaring it
+// here keeps netsim decoupled from the topo package. Link mutations are
+// directed arcs — the simulator calls both directions on undirected
+// topologies.
+type FaultSink interface {
+	FailLink(u, v int64)
+	RepairLink(u, v int64)
+	FailNode(u int64)
+	RepairNode(u int64)
+	LinkDown(u, v int64) bool
+	NodeDown(u int64) bool
+	Blocked(u, v int64) bool
+}
+
+// flaggedRouter is the optional router extension that reports whether a hop
+// belongs to a fault-detoured route; topo.FaultAware implements it. Without
+// it, DeliveredDegraded stays zero.
+type flaggedRouter interface {
+	NextHopFlagged(cur, dst int64) (int64, bool, error)
+}
+
+// rerouteCounter is the optional router extension exposing cumulative
+// reroute/detour-hop counters; topo.FaultAware implements it. The simulator
+// snapshots the counters around the run to fill RerouteEvents and
+// MisroutedHops.
+type rerouteCounter interface {
+	RerouteCounts() (reroutes, detourHops uint64)
+}
+
+// ImplicitFaultConfig parameterizes fault injection for RunImplicitFaulty.
+type ImplicitFaultConfig struct {
+	// Plan is the fault schedule (nil or empty = fault-free run). It is
+	// validated against the implicit topology (ValidateTopo) — no graph is
+	// ever built.
+	Plan *FaultPlan
+	// Faults is the liveness store the plan is applied to. It MUST be the
+	// same object the fault-aware router consults (e.g. the topo.FaultSet a
+	// topo.FaultAware was constructed with), otherwise packets keep routing
+	// into dead components. Required whenever Plan is non-empty.
+	Faults FaultSink
+}
+
+// RunImplicitFaulty executes the implicit-topology simulation under fc.Plan.
+// With a nil/empty plan it consumes the RNG identically to RunImplicit and
+// returns stat-identical results (the embedded Stats match field for field).
+// Runs are deterministic in the configuration: fault application, algebraic
+// rerouting, and packet drops consume no randomness.
+//
+// Degraded-mode semantics, mirroring RunFaulty where both have the concept:
+//   - Scheduled faults (and repairs) are applied when the clock reaches
+//     their cycle: link faults kill the arc (both arcs when the topology is
+//     undirected), node faults kill the node and drop everything queued on
+//     its outgoing links.
+//   - A packet arriving at a dead node is lost.
+//   - A packet stranded on a link that just died is re-routed from the
+//     link's tail through the (fault-aware) router.
+//   - Dead sources stay silent and dead destinations are not selected for
+//     injection (the draws still happen, keeping the RNG stream aligned).
+//   - A packet exceeding ImplicitConfig.MaxHops is dropped and counted
+//     (HopLimitDrops + Lost) instead of aborting the run: under faults,
+//     livelock-like trajectories are a property of the fault pattern, not
+//     necessarily a router bug. Fault-free RunImplicit keeps its hard error.
+//   - A router that cannot produce a next hop (destination dead or region
+//     disconnected) costs the packet its life: Lost++, run continues.
+func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, error) {
+	if err := cfg.normalize(); err != nil {
+		return FaultStats{}, err
+	}
+	if fc.Plan.Len() > 0 && fc.Faults == nil {
+		return FaultStats{}, fmt.Errorf("netsim: a fault plan needs a FaultSink shared with the router")
+	}
+	if err := fc.Plan.ValidateTopo(cfg.Topo); err != nil {
+		return FaultStats{}, err
+	}
+	n := cfg.Topo.N()
+	deg := int64(cfg.Topo.MaxDegree())
+	directed := cfg.Topo.Directed()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	faults := fc.Faults
+	flagged, _ := cfg.Router.(flaggedRouter)
+	counter, _ := cfg.Router.(rerouteCounter)
+	var baseReroutes, baseDetours uint64
+	if counter != nil {
+		baseReroutes, baseDetours = counter.RerouteCounts()
+	}
+
+	period := func(u, v int64) int {
+		if cfg.ModuleOf == nil || cfg.ModuleOf(u) == cfg.ModuleOf(v) {
+			return 1
+		}
+		return cfg.OffModulePeriod
+	}
+
+	// Sparse link state, exactly as in RunImplicit.
+	links := make(map[int64]*ilink)
+	var active []int64
+	nbrBuf := make([]int64, 0, deg)
+	linkFor := func(u, v int64) (*ilink, error) {
+		nbrBuf = cfg.Topo.Neighbors(u, nbrBuf)
+		port := sort.Search(len(nbrBuf), func(i int) bool { return nbrBuf[i] >= v })
+		if port == len(nbrBuf) || nbrBuf[port] != v {
+			return nil, fmt.Errorf("netsim: next hop %d from %d is not a neighbor", v, u)
+		}
+		key := u*deg + int64(port)
+		lk, ok := links[key]
+		if !ok {
+			lk = &ilink{u: u, v: v}
+			links[key] = lk
+			active = append(active, key)
+		}
+		return lk, nil
+	}
+
+	// Scheduled events, bucketed by cycle (strike and repair).
+	type topoChange struct {
+		kind FaultKind
+		u, v int64
+		down bool
+	}
+	changesAt := map[int][]topoChange{}
+	lastChange := -1
+	for _, e := range fc.Plan.sorted() {
+		changesAt[e.Cycle] = append(changesAt[e.Cycle], topoChange{kind: e.Kind, u: int64(e.U), v: int64(e.V), down: true})
+		if e.Cycle > lastChange {
+			lastChange = e.Cycle
+		}
+		if e.Transient() {
+			changesAt[e.Repair] = append(changesAt[e.Repair], topoChange{kind: e.Kind, u: int64(e.U), v: int64(e.V), down: false})
+			if e.Repair > lastChange {
+				lastChange = e.Repair
+			}
+		}
+	}
+
+	maxDelay := cfg.OffModulePeriod * cfg.Flits
+	type iarrival struct {
+		node int64
+		pkt  ipacket
+	}
+	ring := make([][]iarrival, maxDelay+1)
+
+	st := FaultStats{}
+	var latencySum int64
+	inFlightMeasured := 0
+	// lose drops a packet; like RunFaulty, loss counters track measured
+	// traffic only, so Injected == Delivered + Lost + Expired.
+	lose := func(pkt ipacket) {
+		if pkt.measured {
+			st.Lost++
+			inFlightMeasured--
+		}
+	}
+	enqueue := func(now int, at int64, pkt ipacket) error {
+		if pkt.dst == at {
+			if pkt.measured {
+				st.Delivered++
+				if pkt.degraded {
+					st.DeliveredDegraded++
+				}
+				lat := now - pkt.born
+				latencySum += int64(lat)
+				if lat > st.MaxLatency {
+					st.MaxLatency = lat
+				}
+			}
+			return nil
+		}
+		if pkt.hops >= cfg.MaxHops {
+			// Livelock watchdog: under faults a hop-budget overrun is a
+			// property of the fault pattern, so the packet dies, not the run.
+			if pkt.measured {
+				st.HopLimitDrops++
+			}
+			lose(pkt)
+			return nil
+		}
+		var nh int64
+		var detoured bool
+		var err error
+		if flagged != nil {
+			nh, detoured, err = flagged.NextHopFlagged(at, pkt.dst)
+		} else {
+			nh, err = cfg.Router.NextHop(at, pkt.dst)
+		}
+		if err != nil {
+			// Destination dead or no fault-free route derivable: the packet
+			// is lost; the run continues.
+			lose(pkt)
+			return nil
+		}
+		pkt.degraded = pkt.degraded || detoured
+		lk, err := linkFor(at, nh)
+		if err != nil {
+			return err // a non-neighbor next hop is a router bug: hard stop
+		}
+		lk.queue = append(lk.queue, pkt)
+		return nil
+	}
+
+	// strand re-routes everything queued on a link that just died, from the
+	// link's tail node; dead-node drops are handled by the caller.
+	strand := func(now int, lk *ilink) error {
+		q := lk.queue
+		lk.queue = nil
+		for _, pkt := range q {
+			if err := enqueue(now, lk.u, pkt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	applyChange := func(now int, c topoChange) error {
+		switch c.kind {
+		case NodeFault:
+			if c.down {
+				faults.FailNode(c.u)
+				st.FaultsInjected++
+				if faults.NodeDown(c.u) {
+					// Everything queued on the dead node's outgoing links is
+					// lost (first strike or overlapping, the queues are dead
+					// either way).
+					for port := int64(0); port < deg; port++ {
+						if lk, ok := links[c.u*deg+port]; ok {
+							for _, pkt := range lk.queue {
+								lose(pkt)
+							}
+							lk.queue = nil
+						}
+					}
+				}
+			} else {
+				faults.RepairNode(c.u)
+				st.FaultsRepaired++
+			}
+		case LinkFault:
+			if c.down {
+				faults.FailLink(c.u, c.v)
+				if !directed {
+					faults.FailLink(c.v, c.u)
+				}
+				st.FaultsInjected++
+				// Re-route stranded queues through the fault-aware router.
+				for _, arc := range [2][2]int64{{c.u, c.v}, {c.v, c.u}} {
+					if directed && arc != [2]int64{c.u, c.v} {
+						continue
+					}
+					nbrBuf = cfg.Topo.Neighbors(arc[0], nbrBuf)
+					port := sort.Search(len(nbrBuf), func(i int) bool { return nbrBuf[i] >= arc[1] })
+					if port == len(nbrBuf) || nbrBuf[port] != arc[1] {
+						continue
+					}
+					if lk, ok := links[arc[0]*deg+int64(port)]; ok && len(lk.queue) > 0 {
+						if err := strand(now, lk); err != nil {
+							return err
+						}
+					}
+				}
+			} else {
+				faults.RepairLink(c.u, c.v)
+				if !directed {
+					faults.RepairLink(c.v, c.u)
+				}
+				st.FaultsRepaired++
+			}
+		}
+		return nil
+	}
+
+	uniformDst := func(src int64) int64 {
+		d := rng.Int63n(n - 1)
+		if d >= src {
+			d++
+		}
+		return d
+	}
+
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	deadline := total + cfg.DrainCycles
+	for now := 0; now < deadline; now++ {
+		// 0. Apply scheduled topology changes; the fault-set epoch bump
+		// invalidates the router's cached source routes.
+		if cs, hit := changesAt[now]; hit {
+			for _, c := range cs {
+				if err := applyChange(now, c); err != nil {
+					return st, err
+				}
+			}
+		}
+		// 1. Deliver arrivals scheduled for this cycle.
+		slot := now % len(ring)
+		for _, a := range ring[slot] {
+			if faults != nil && faults.NodeDown(a.node) {
+				lose(a.pkt) // arrived at a dead router: packet lost
+				continue
+			}
+			if a.pkt.measured && a.pkt.dst == a.node {
+				inFlightMeasured--
+			}
+			if err := enqueue(now, a.node, a.pkt); err != nil {
+				return st, err
+			}
+		}
+		ring[slot] = ring[slot][:0]
+		// 2. Inject new traffic (same RNG stream as RunImplicit; dead
+		// sources and sinks skip after the draws).
+		if now < total {
+			for k := injectionCount(n, cfg.InjectionRate, rng); k > 0; k-- {
+				src := rng.Int63n(n)
+				var dst int64
+				if cfg.Pattern != nil {
+					dst = cfg.Pattern(src, n, rng)
+				} else {
+					dst = uniformDst(src)
+				}
+				if dst == src || dst < 0 || dst >= n {
+					continue
+				}
+				if faults != nil && (faults.NodeDown(src) || faults.NodeDown(dst)) {
+					continue // dead sources stay silent; dead sinks are skipped
+				}
+				measured := now >= cfg.WarmupCycles
+				if measured {
+					st.Injected++
+					inFlightMeasured++
+				}
+				if err := enqueue(now, src, ipacket{dst: dst, born: now, measured: measured}); err != nil {
+					return st, err
+				}
+			}
+		} else if inFlightMeasured == 0 && now > lastChange {
+			break
+		}
+		// 3. Advance links: live, free links transmit their queue heads.
+		live := active[:0]
+		for _, key := range active {
+			lk := links[key]
+			if len(lk.queue) == 0 {
+				if lk.freeAt <= now {
+					delete(links, key)
+					continue
+				}
+				live = append(live, key)
+				continue
+			}
+			if lk.freeAt > now {
+				live = append(live, key)
+				continue
+			}
+			if faults != nil && (faults.NodeDown(lk.u) || faults.LinkDown(lk.u, lk.v)) {
+				// Dead tail or dead link: the queue waits for a repair (a
+				// link strike re-routes it via strand; this path holds
+				// packets queued on links that died while busy).
+				live = append(live, key)
+				continue
+			}
+			pkt := lk.queue[0]
+			lk.queue = lk.queue[1:]
+			if len(lk.queue) == 0 {
+				lk.queue = nil
+			}
+			p := period(lk.u, lk.v)
+			occupy := p * cfg.Flits
+			lk.freeAt = now + occupy
+			delay := occupy
+			if cfg.CutThrough {
+				delay = p
+			}
+			pkt.hops++
+			ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], iarrival{node: lk.v, pkt: pkt})
+			live = append(live, key)
+		}
+		active = live
+	}
+	st.Expired = inFlightMeasured
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(latencySum) / float64(st.Delivered)
+	}
+	if cfg.MeasureCycles > 0 {
+		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
+	}
+	if counter != nil {
+		re, dh := counter.RerouteCounts()
+		st.RerouteEvents = int(re - baseReroutes)
+		st.MisroutedHops = int(dh - baseDetours)
+	}
+	return st, nil
+}
