@@ -263,6 +263,59 @@ func BenchmarkFaultAwareRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultAwareRouteProbed measures the faulty routing workload the
+// way a probed simulator run consumes it: packets walk hop by hop through
+// NextHop (exercising the suffix cache the counters instrument), and a
+// RouterStats snapshot (plus its Delta against the run start) is taken
+// every iteration. The counters themselves are always on — this twin
+// prices the cache-walk consumption pattern and reading the telemetry,
+// against BenchmarkFaultAwareRoute's one-shot source-route derivation.
+func BenchmarkFaultAwareRouteProbed(b *testing.B) {
+	net := superip.HSN(3, superip.NucleusHypercube(4)).SymmetricVariant()
+	r, err := topo.NewAlgebraic(net.Super())
+	if err != nil {
+		b.Fatal(err)
+	}
+	imp, err := topo.NewImplicit(net.Super())
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := imp.N()
+	fs := topo.NewFaultSet()
+	fa := topo.NewFaultAware(imp, r, fs)
+	var buf []int64
+	for k := int64(0); k < 16; k++ {
+		u := (k * 40503) % n
+		buf = imp.Neighbors(u, buf)
+		fs.FailLinkBoth(u, buf[int(k)%len(buf)])
+	}
+	base := fa.RouterStats()
+	var last topo.RouterStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := int64(i+1) % n
+		dst := (int64(i+1) * 2654435761) % n
+		if src == dst || fs.NodeDown(src) || fs.NodeDown(dst) {
+			continue
+		}
+		for cur, hops := src, 0; cur != dst; hops++ {
+			if hops > 1024 {
+				b.Fatalf("walk %d -> %d did not converge", src, dst)
+			}
+			nxt, err := fa.NextHop(cur, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur = nxt
+		}
+		last = fa.RouterStats().Delta(base)
+	}
+	if last.CacheHits+last.CacheMisses == 0 {
+		b.Fatal("router telemetry recorded no lookups")
+	}
+}
+
 // BenchmarkEmbedding measures the dilation-3 hypercube-into-HSN embedding
 // check (Section 3.2's embedding claim): Q6 into HSN(2;Q3), every guest
 // edge validated.
@@ -321,7 +374,8 @@ func netsimBench(b *testing.B) (netsim.Config, *metrics.Partition) {
 func fullProbe(cfg netsim.Config, p *metrics.Partition) obs.Probe {
 	return obs.Multi(
 		&obs.LatencyHist{},
-		obs.NewTimeSeries(cfg.Graph, p, 50),
+		obs.NewTimeSeries(func(u int64) int64 { return int64(p.Of[u]) }, 50),
+		obs.NewModuleSeries(func(u int64) int64 { return int64(p.Of[u]) }, 50),
 		&obs.Trace{SampleEvery: 16},
 	)
 }

@@ -27,21 +27,30 @@
 //
 //	simulate -net HSN -l 2 -nucleus Q3 -hist -timeseries load.csv -toplinks 5
 //	simulate -net torus -rates 0.02 -trace trace.json -progress 500
+//	simulate -net HSN -l 4 -nucleus Q5 -sym -implicit -topmodules 8 \
+//	    -moduleseries mods.csv -manifest run.json
 //
 // -hist adds p50/p95/p99 latency columns and prints an ASCII histogram per
 // run; -timeseries exports per-link load windows (.jsonl = JSON lines,
 // anything else CSV, with the per-module series written alongside);
+// -moduleseries exports the module-aggregated series (memory bounded by
+// module count — the collector for -implicit runs past the materialization
+// ceiling); -topmodules prints the hottest modules by busy cycles;
 // -trace writes Chrome trace-event JSON (open in chrome://tracing or
 // Perfetto); -toplinks prints the busiest links after each run; -progress
-// emits a live ticker to stderr; -pprof serves net/http/pprof plus expvar
-// counters (sim_cycle, sim_injected, sim_delivered) while runs execute.
-// When the sweep covers several ratio x rate combinations, output
-// filenames get a -r<ratio>-p<rate> suffix so runs don't clobber each
-// other.
+// emits a live ticker to stderr; -manifest writes a machine-readable JSON
+// record per run (config, seed, stats, percentiles, router counters,
+// registry metrics); -pprof serves net/http/pprof plus the process metrics
+// registry as the expvar variable "sim" while runs execute.
+//
+// All collectors work under -implicit: probes attach to the sparse
+// simulator's hooks, and implicit runs additionally print the algebraic
+// router's cache/reroute telemetry after each row. When the sweep covers
+// several ratio x rate combinations, output filenames get a -r<ratio>-p<rate>
+// suffix so runs don't clobber each other.
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -63,32 +72,110 @@ import (
 	"repro/internal/topo"
 )
 
-// expvarProbe mirrors run progress into expvar counters so a -pprof
-// listener exposes them at /debug/vars alongside the profiler.
-type expvarProbe struct {
+// registryProbe mirrors run progress into a concurrency-safe metrics
+// registry (obs.Registry) so a -pprof listener exposes it live at
+// /debug/vars (expvar variable "sim") and -manifest can snapshot it.
+// Counters are cumulative across the whole sweep; the cycle gauge tracks
+// the current run.
+type registryProbe struct {
 	obs.NopProbe
-	cycle, injected, delivered *expvar.Int
+	reg           *obs.Registry
+	cycle         *obs.Gauge
+	injected      *obs.Counter
+	delivered     *obs.Counter
+	dropped       *obs.Counter
+	retransmitted *obs.Counter
+	faults        *obs.Counter
+	latency       *obs.StripedHist
 }
 
-func newExpvarProbe() *expvarProbe {
-	return &expvarProbe{
-		cycle:     expvar.NewInt("sim_cycle"),
-		injected:  expvar.NewInt("sim_injected"),
-		delivered: expvar.NewInt("sim_delivered"),
+func newRegistryProbe() *registryProbe {
+	reg := obs.NewRegistry()
+	return &registryProbe{
+		reg:           reg,
+		cycle:         reg.Gauge("cycle"),
+		injected:      reg.Counter("injected"),
+		delivered:     reg.Counter("delivered"),
+		dropped:       reg.Counter("dropped"),
+		retransmitted: reg.Counter("retransmitted"),
+		faults:        reg.Counter("faults"),
+		latency:       reg.Hist("latency"),
 	}
 }
 
-func (p *expvarProbe) reset() {
-	p.cycle.Set(0)
-	p.injected.Set(0)
-	p.delivered.Set(0)
+func (p *registryProbe) Tick(cycle int) { p.cycle.Set(int64(cycle)) }
+
+func (p *registryProbe) Inject(int, int64, int64, int64, bool) { p.injected.Inc() }
+
+func (p *registryProbe) Deliver(_ int, _ int64, _ int64, latency int, _ bool) {
+	p.delivered.Inc()
+	p.latency.Observe(int64(latency))
 }
 
-func (p *expvarProbe) Tick(cycle int) { p.cycle.Set(int64(cycle)) }
+func (p *registryProbe) Drop(int, int64, int64, obs.DropReason) { p.dropped.Inc() }
 
-func (p *expvarProbe) Inject(int, int64, int32, int32, bool) { p.injected.Add(1) }
+func (p *registryProbe) Retransmit(int, int64, int64, int) { p.retransmitted.Inc() }
 
-func (p *expvarProbe) Deliver(int, int64, int32, int, bool) { p.delivered.Add(1) }
+func (p *registryProbe) Fault(_ int, _, _ int64, _ bool, down bool) {
+	if down {
+		p.faults.Inc()
+	}
+}
+
+// obsOpts carries the observability flag set shared by the materialized and
+// implicit paths.
+type obsOpts struct {
+	hist       bool
+	tsFile     string
+	tsEvery    int
+	traceFile  string
+	traceNth   int
+	topLinks   int
+	topModules int
+	msFile     string
+	manifest   string
+	progress   int
+	rp         *registryProbe
+}
+
+// collectors is one run's collector set, built by obsOpts.build.
+type collectors struct {
+	lh *obs.LatencyHist
+	ts *obs.TimeSeries
+	tr *obs.Trace
+	ms *obs.ModuleSeries
+}
+
+// build assembles the run's probe from the requested collectors. Every
+// collector is optional; obs.Multi collapses to nil when none are
+// requested, keeping the simulators on their no-observer fast path.
+func (o obsOpts) build(moduleOf func(int64) int64) (obs.Probe, *collectors) {
+	c := &collectors{}
+	var probes []obs.Probe
+	if o.hist {
+		c.lh = &obs.LatencyHist{}
+		probes = append(probes, c.lh)
+	}
+	if o.tsFile != "" || o.topLinks > 0 {
+		c.ts = obs.NewTimeSeries(moduleOf, o.tsEvery)
+		probes = append(probes, c.ts)
+	}
+	if o.msFile != "" || o.topModules > 0 {
+		c.ms = obs.NewModuleSeries(moduleOf, o.tsEvery)
+		probes = append(probes, c.ms)
+	}
+	if o.traceFile != "" {
+		c.tr = &obs.Trace{SampleEvery: o.traceNth}
+		probes = append(probes, c.tr)
+	}
+	if o.progress > 0 {
+		probes = append(probes, &obs.Progress{Every: o.progress, W: os.Stderr})
+	}
+	if o.rp != nil {
+		probes = append(probes, o.rp)
+	}
+	return obs.Multi(probes...), c
+}
 
 func main() {
 	var (
@@ -97,7 +184,7 @@ func main() {
 		nucleus = flag.String("nucleus", "Q4", "nucleus: Qn or FQn")
 		sym     = flag.Bool("sym", false, "symmetric (distinct-seed) variant (super-IP families)")
 		routerK = flag.String("router", "bfs", "routing for super-IP runs: bfs (per-destination tables) or algebraic (Theorem 4.1/4.3 label arithmetic, O(1) state per node)")
-		impl    = flag.Bool("implicit", false, "simulate the implicit topology without materializing the graph (super-IP families; forces algebraic routing; -faults uses the fault-aware algebraic router; incompatible with observability collectors)")
+		impl    = flag.Bool("implicit", false, "simulate the implicit topology without materializing the graph (super-IP families; forces algebraic routing; -faults uses the fault-aware algebraic router; observability collectors attach to the sparse simulator's probe hooks)")
 		dim     = flag.Int("dim", 8, "hypercube dimension")
 		module  = flag.Int("module", 4, "hypercube: module subcube dimension; torus: tile side")
 		rows    = flag.Int("rows", 16, "torus rows")
@@ -112,20 +199,34 @@ func main() {
 		repair  = flag.Int("repair", 0, "cycles until a fault heals (0 = permanent)")
 		nodeFrc = flag.Float64("nodefaults", 0, "fraction of faults that kill a node instead of a link")
 
-		histOn    = flag.Bool("hist", false, "collect latency histograms: adds p50/p95/p99 columns and prints an ASCII histogram per run")
-		tsFile    = flag.String("timeseries", "", "write per-link load windows to this file (.jsonl = JSON lines, else CSV with a .modules.csv sibling)")
-		tsEvery   = flag.Int("sample", 50, "time-series sample window, in cycles")
-		traceFile = flag.String("trace", "", "write Chrome trace-event JSON of sampled packet lifecycles to this file")
-		traceNth  = flag.Int("tracesample", 64, "trace every n-th packet (1 = every packet)")
-		topLinks  = flag.Int("toplinks", 0, "after each run, print the n busiest links")
-		progress  = flag.Int("progress", 0, "print a live progress line to stderr every n cycles")
-		pprofAddr = flag.String("pprof", "", "serve profiling endpoints on this address (e.g. localhost:6060): /debug/pprof/ (net/http/pprof: profile, heap, goroutine, ...) and /debug/vars (expvar counters sim_cycle, sim_injected, sim_delivered)")
+		histOn     = flag.Bool("hist", false, "collect latency histograms: adds p50/p95/p99 columns and prints an ASCII histogram per run")
+		tsFile     = flag.String("timeseries", "", "write per-link load windows to this file (.jsonl = JSON lines, else CSV with a .modules.csv sibling)")
+		tsEvery    = flag.Int("sample", 50, "time-series sample window, in cycles")
+		traceFile  = flag.String("trace", "", "write Chrome trace-event JSON of sampled packet lifecycles to this file")
+		traceNth   = flag.Int("tracesample", 64, "trace every n-th packet (1 = every packet)")
+		topLinks   = flag.Int("toplinks", 0, "after each run, print the n busiest links")
+		topModules = flag.Int("topmodules", 0, "after each run, print the n busiest modules (busy cycles, intra/inter split)")
+		msFile     = flag.String("moduleseries", "", "write the module-aggregated load series to this file (.jsonl = JSON lines, else CSV; memory bounded by module count)")
+		manifest   = flag.String("manifest", "", "write a JSON run manifest (config, seed, stats, percentiles, router counters, registry metrics) to this file per run")
+		progress   = flag.Int("progress", 0, "print a live progress line to stderr every n cycles")
+		pprofAddr  = flag.String("pprof", "", "serve profiling endpoints on this address (e.g. localhost:6060): /debug/pprof/ (net/http/pprof: profile, heap, goroutine, ...) and /debug/vars (the process metrics registry as expvar variable \"sim\")")
 	)
 	flag.Parse()
 
-	var ev *expvarProbe
+	o := obsOpts{
+		hist: *histOn, tsFile: *tsFile, tsEvery: *tsEvery,
+		traceFile: *traceFile, traceNth: *traceNth,
+		topLinks: *topLinks, topModules: *topModules, msFile: *msFile,
+		manifest: *manifest, progress: *progress,
+	}
+	if *pprofAddr != "" || *manifest != "" {
+		// The registry costs a few atomic ops per event, so it only attaches
+		// when something consumes it: a live /debug/vars listener or the
+		// manifest's metrics section.
+		o.rp = newRegistryProbe()
+	}
 	if *pprofAddr != "" {
-		ev = newExpvarProbe()
+		o.rp.reg.PublishExpvar("sim")
 		// Bind synchronously so an unusable address (port taken, bad
 		// syntax, privileged port) fails the run up front instead of a
 		// goroutine racing a message to stderr while the sweep silently
@@ -137,16 +238,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "simulate: pprof server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/ (profiles) and /debug/vars (run counters)\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/ (profiles) and /debug/vars (registry variable \"sim\")\n", ln.Addr())
 	}
 
 	if *impl {
-		if *histOn || *tsFile != "" || *traceFile != "" || *topLinks > 0 || *pprofAddr != "" {
-			exitIf(fmt.Errorf("-implicit supports none of -hist, -timeseries, -trace, -toplinks, -pprof (the sparse simulator has no probe hooks)"))
-		}
 		runImplicitSweep(*netName, *l, *nucleus, *sym,
 			parseInts(*ratios), parseFloats(*rates), *cycles, *warmup, *seed,
-			*nFaults, *mtbf, *repair, *nodeFrc)
+			*nFaults, *mtbf, *repair, *nodeFrc, o)
 		return
 	}
 
@@ -199,37 +297,12 @@ func main() {
 		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
 			"ratio", "rate", "injected", "delivered", "lost", "expired", "retx", "avg-lat", "lat-infl", "reroutes", "detours", histCols)
 	}
+	moduleOf := func(u int64) int64 { return int64(part.Of[u]) }
 	ratioList, rateList := parseInts(*ratios), parseFloats(*rates)
 	multi := len(ratioList)*len(rateList) > 1
 	for _, ratio := range ratioList {
 		for _, rate := range rateList {
-			// Assemble the run's probes. Every collector is optional;
-			// obs.Multi collapses to nil when none are requested, keeping
-			// the simulator on its no-observer fast path.
-			var probes []obs.Probe
-			var lh *obs.LatencyHist
-			if *histOn {
-				lh = &obs.LatencyHist{}
-				probes = append(probes, lh)
-			}
-			var ts *obs.TimeSeries
-			if *tsFile != "" || *topLinks > 0 {
-				ts = obs.NewTimeSeries(g, &part, *tsEvery)
-				probes = append(probes, ts)
-			}
-			var tr *obs.Trace
-			if *traceFile != "" {
-				tr = &obs.Trace{SampleEvery: *traceNth}
-				probes = append(probes, tr)
-			}
-			if *progress > 0 {
-				probes = append(probes, &obs.Progress{Every: *progress, W: os.Stderr})
-			}
-			if ev != nil {
-				ev.reset()
-				probes = append(probes, ev)
-			}
-
+			pb, col := o.build(moduleOf)
 			cfg := netsim.Config{
 				Graph:           g,
 				Partition:       &part,
@@ -238,7 +311,7 @@ func main() {
 				WarmupCycles:    *warmup,
 				MeasureCycles:   *cycles,
 				Seed:            *seed,
-				Probe:           obs.Multi(probes...),
+				Probe:           pb,
 				Router:          router,
 			}
 			if plan == nil {
@@ -247,6 +320,8 @@ func main() {
 				fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
 					ratio, rate, st.Injected, st.Delivered, st.Expired,
 					st.AvgLatency, st.MaxLatency, quantileCols(*histOn, st.P50Latency, st.P95Latency, st.P99Latency))
+				o.writeManifest(name, runConfig(ratio, rate, *warmup, *cycles, *nFaults), *seed, st,
+					percentiles(*histOn, st.P50Latency, st.P95Latency, st.P99Latency), nil, ratio, rate, multi)
 			} else {
 				fs, _, err := netsim.RunFaultyWithBaseline(cfg, netsim.FaultConfig{Plan: plan})
 				exitIf(err)
@@ -254,8 +329,10 @@ func main() {
 					ratio, rate, fs.Injected, fs.Delivered, fs.Lost, fs.Expired, fs.Retransmitted,
 					fs.AvgLatency, fs.LatencyInflation, fs.RerouteEvents, fs.MisroutedHops,
 					quantileCols(*histOn, fs.P50Latency, fs.P95Latency, fs.P99Latency))
+				o.writeManifest(name, runConfig(ratio, rate, *warmup, *cycles, *nFaults), *seed, fs,
+					percentiles(*histOn, fs.P50Latency, fs.P95Latency, fs.P99Latency), nil, ratio, rate, multi)
 			}
-			exportRun(lh, ts, tr, *tsFile, *traceFile, *topLinks, ratio, rate, multi)
+			col.export(o, ratio, rate, multi)
 		}
 	}
 }
@@ -267,28 +344,61 @@ func quantileCols(on bool, p50, p95, p99 float64) string {
 	return fmt.Sprintf(" %-8.1f %-8.1f %-8.1f", p50, p95, p99)
 }
 
-// exportRun writes whatever collectors the run carried. With a multi-run
-// sweep, filenames gain a -r<ratio>-p<rate> suffix before the extension.
-func exportRun(lh *obs.LatencyHist, ts *obs.TimeSeries, tr *obs.Trace,
-	tsFile, traceFile string, topLinks, ratio int, rate float64, multi bool) {
-	if lh != nil && lh.Count() > 0 {
-		exitIf(lh.WriteText(os.Stdout))
+// percentiles builds the manifest's percentile map (nil when -hist is off
+// and the quantiles were never collected).
+func percentiles(on bool, p50, p95, p99 float64) map[string]float64 {
+	if !on {
+		return nil
 	}
-	if ts != nil {
-		ts.Flush()
-		if tsFile != "" {
-			name := suffixed(tsFile, ratio, rate, multi)
+	return map[string]float64{"p50": p50, "p95": p95, "p99": p99}
+}
+
+// runConfig captures the per-run sweep coordinates for the manifest.
+func runConfig(ratio int, rate float64, warmup, cycles, faults int) map[string]any {
+	return map[string]any{
+		"ratio": ratio, "rate": rate,
+		"warmup": warmup, "cycles": cycles, "faults": faults,
+	}
+}
+
+// writeManifest emits the JSON run manifest when -manifest is set. router is
+// nil for runs without router telemetry (the materialized BFS path).
+func (o obsOpts) writeManifest(name string, cfg map[string]any, seed int64, stats any,
+	pct map[string]float64, router *obs.RouterStats, ratio int, rate float64, multi bool) {
+	if o.manifest == "" {
+		return
+	}
+	m := obs.Manifest{
+		Run: name, Config: cfg, Seed: seed, Stats: stats,
+		Percentiles: pct, Router: router,
+	}
+	if o.rp != nil {
+		m.Metrics = o.rp.reg.Snapshot()
+	}
+	exitIf(writeTo(suffixed(o.manifest, ratio, rate, multi), m.WriteJSON))
+}
+
+// export writes whatever collectors the run carried. With a multi-run
+// sweep, filenames gain a -r<ratio>-p<rate> suffix before the extension.
+func (c *collectors) export(o obsOpts, ratio int, rate float64, multi bool) {
+	if c.lh != nil && c.lh.Count() > 0 {
+		exitIf(c.lh.WriteText(os.Stdout))
+	}
+	if c.ts != nil {
+		c.ts.Flush()
+		if o.tsFile != "" {
+			name := suffixed(o.tsFile, ratio, rate, multi)
 			if strings.HasSuffix(name, ".jsonl") {
-				exitIf(writeTo(name, ts.WriteJSONL))
+				exitIf(writeTo(name, c.ts.WriteJSONL))
 			} else {
-				exitIf(writeTo(name, ts.WriteCSV))
+				exitIf(writeTo(name, c.ts.WriteCSV))
 				ext := filepath.Ext(name)
-				exitIf(writeTo(strings.TrimSuffix(name, ext)+".modules"+ext, ts.WriteModulesCSV))
+				exitIf(writeTo(strings.TrimSuffix(name, ext)+".modules"+ext, c.ts.WriteModulesCSV))
 			}
 		}
-		if topLinks > 0 {
-			fmt.Printf("top %d links by busy cycles:\n", topLinks)
-			for _, l := range ts.TopLinks(topLinks) {
+		if o.topLinks > 0 {
+			fmt.Printf("top %d links by busy cycles:\n", o.topLinks)
+			for _, l := range c.ts.TopLinks(o.topLinks) {
 				kind := "on-module "
 				if l.OffModule {
 					kind = "off-module"
@@ -298,8 +408,28 @@ func exportRun(lh *obs.LatencyHist, ts *obs.TimeSeries, tr *obs.Trace,
 			}
 		}
 	}
-	if tr != nil && traceFile != "" {
-		exitIf(writeTo(suffixed(traceFile, ratio, rate, multi), tr.WriteJSON))
+	if c.ms != nil {
+		c.ms.Flush()
+		if o.msFile != "" {
+			name := suffixed(o.msFile, ratio, rate, multi)
+			if strings.HasSuffix(name, ".jsonl") {
+				exitIf(writeTo(name, c.ms.WriteJSONL))
+			} else {
+				exitIf(writeTo(name, c.ms.WriteCSV))
+			}
+		}
+		if o.topModules > 0 {
+			fmt.Printf("top %d of %d active modules by busy cycles:\n",
+				o.topModules, c.ms.ActiveModules())
+			for _, m := range c.ms.TopModules(o.topModules) {
+				fmt.Printf("  module %-8d busy %-8d (intra %-8d inter %-8d) hops %d/%d  in %-7d out %d\n",
+					m.Module, m.IntraBusy+m.InterBusy, m.IntraBusy, m.InterBusy,
+					m.IntraHops, m.InterHops, m.Injected, m.Delivered)
+			}
+		}
+	}
+	if c.tr != nil && o.traceFile != "" {
+		exitIf(writeTo(suffixed(o.traceFile, ratio, rate, multi), c.tr.WriteJSON))
 	}
 }
 
@@ -403,9 +533,11 @@ func buildSystem(name string, l int, nucleus string, sym bool, dim, module, rows
 // memory proportional to the in-flight packet population. With -faults the
 // algebraic router is wrapped in the fault-aware rerouter and the plan is
 // drawn in id space (RandomFaults.PlanTopo) — degraded-mode runs need no
-// graph either.
+// graph either. Observability collectors ride along through the probe
+// hooks, with modules resolved algebraically (Implicit.Module), and every
+// row is followed by the router's cache/reroute telemetry.
 func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []int, rates []float64, cycles, warmup int, seed int64,
-	nFaults int, mtbf float64, repair int, nodeFrc float64) {
+	nFaults int, mtbf float64, repair int, nodeFrc float64, o obsOpts) {
 	net, err := superNet(netName, l, nucleus, sym)
 	exitIf(err)
 	imp, err := topo.NewImplicit(net.Super())
@@ -433,15 +565,22 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 			plan.Len(), mtbf, repair, nodeFrc)
 	}
 
-	if plan == nil {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s\n",
-			"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat")
-	} else {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s\n",
-			"ratio", "rate", "injected", "delivered", "lost", "expired", "drops", "avg-lat", "degraded", "reroutes", "detours")
+	histCols := ""
+	if o.hist {
+		histCols = fmt.Sprintf(" %-8s %-8s %-8s", "p50", "p95", "p99")
 	}
+	if plan == nil {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s%s\n",
+			"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat", histCols)
+	} else {
+		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
+			"ratio", "rate", "injected", "delivered", "lost", "expired", "drops", "avg-lat", "degraded", "reroutes", "detours", histCols)
+	}
+	name := net.Name() + " (implicit)"
+	multi := len(ratios)*len(rates) > 1
 	for _, ratio := range ratios {
 		for _, rate := range rates {
+			pb, col := o.build(imp.Module)
 			cfg := netsim.ImplicitConfig{
 				Topo:            imp,
 				Router:          r,
@@ -450,6 +589,7 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 				WarmupCycles:    warmup,
 				MeasureCycles:   cycles,
 				Seed:            seed,
+				Probe:           pb,
 			}
 			if ratio > 1 {
 				cfg.ModuleOf = imp.Module
@@ -457,8 +597,14 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 			if plan == nil {
 				st, err := netsim.RunImplicit(cfg)
 				exitIf(err)
-				fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d\n",
-					ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency)
+				fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
+					ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency,
+					quantileCols(o.hist, st.P50Latency, st.P95Latency, st.P99Latency))
+				exitIf(st.Router.WriteText(os.Stdout))
+				o.writeManifest(name, runConfig(ratio, rate, warmup, cycles, nFaults), seed, st,
+					percentiles(o.hist, st.P50Latency, st.P95Latency, st.P99Latency),
+					&st.Router, ratio, rate, multi)
+				col.export(o, ratio, rate, multi)
 				continue
 			}
 			// Fresh fault state per run: the scheduler re-applies the plan,
@@ -467,9 +613,15 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 			cfg.Router = topo.NewFaultAware(imp, r, fs)
 			st, err := netsim.RunImplicitFaulty(cfg, netsim.ImplicitFaultConfig{Plan: plan, Faults: fs})
 			exitIf(err)
-			fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9d %-9d %-9d\n",
+			fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9d %-9d %-9d%s\n",
 				ratio, rate, st.Injected, st.Delivered, st.Lost, st.Expired, st.HopLimitDrops,
-				st.AvgLatency, st.DeliveredDegraded, st.RerouteEvents, st.MisroutedHops)
+				st.AvgLatency, st.DeliveredDegraded, st.RerouteEvents, st.MisroutedHops,
+				quantileCols(o.hist, st.P50Latency, st.P95Latency, st.P99Latency))
+			exitIf(st.Router.WriteText(os.Stdout))
+			o.writeManifest(name, runConfig(ratio, rate, warmup, cycles, nFaults), seed, st,
+				percentiles(o.hist, st.P50Latency, st.P95Latency, st.P99Latency),
+				&st.Router, ratio, rate, multi)
+			col.export(o, ratio, rate, multi)
 		}
 	}
 }

@@ -68,7 +68,7 @@ func main() {
 		cfg := base
 		cfg.Pattern = r.pattern
 		hist := &obs.LatencyHist{}
-		ts := obs.NewTimeSeries(g, &part, 100)
+		ts := obs.NewTimeSeries(func(u int64) int64 { return int64(part.Of[u]) }, 100)
 		tr := &obs.Trace{SampleEvery: 32}
 		cfg.Probe = obs.Multi(hist, ts, tr)
 		st, err := netsim.Run(cfg)

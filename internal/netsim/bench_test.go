@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/networks"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -90,6 +91,35 @@ func BenchmarkRunImplicitQ6(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
+		if _, err := RunImplicit(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunImplicitQ6Probed measures the BenchmarkRunImplicitQ6 workload
+// with collectors attached (latency histogram, module-aggregated series, and
+// a sparse per-link time series) — the price of observing an implicit run.
+// Comparing against the nil-probe row above bounds the whole observability
+// layer; the nil-probe row itself must not move when probes are added to the
+// simulator (zero-overhead-when-disabled).
+func BenchmarkRunImplicitQ6Probed(b *testing.B) {
+	cfg := ImplicitConfig{
+		Topo:          topo.HypercubeTopo{Dim: 6},
+		Router:        topo.HypercubeRouter{Dim: 6},
+		InjectionRate: 0.01,
+		WarmupCycles:  50, MeasureCycles: 300,
+	}
+	moduleOf := func(u int64) int64 { return u >> 3 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		cfg.Probe = obs.Multi(
+			&obs.LatencyHist{},
+			obs.NewModuleSeries(moduleOf, 50),
+			obs.NewTimeSeries(moduleOf, 50),
+		)
 		if _, err := RunImplicit(cfg); err != nil {
 			b.Fatal(err)
 		}

@@ -207,7 +207,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 			lag := now - epochCycle[tableEpoch[dst]+1]
 			rerouteLagSum += int64(lag)
 			if pb != nil {
-				pb.Reroute(now, dst, lag)
+				pb.Reroute(now, int64(dst), lag)
 			}
 		}
 		if cfg.Adaptive {
@@ -243,7 +243,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		// Detour: misroute to a random live neighbor.
 		if p.ttl <= 0 {
 			if pb != nil {
-				pb.Drop(now, int64(p.seq), at, obs.DropTTL)
+				pb.Drop(now, int64(p.seq), int64(at), obs.DropTTL)
 			}
 			return 0, false
 		}
@@ -256,7 +256,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		}
 		if len(live) == 0 {
 			if pb != nil {
-				pb.Drop(now, int64(p.seq), at, obs.DropNoRoute)
+				pb.Drop(now, int64(p.seq), int64(at), obs.DropNoRoute)
 			}
 			return 0, false
 		}
@@ -300,7 +300,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		f := &flows[seq]
 		f.done = true
 		if pb != nil {
-			pb.Drop(now, int64(seq), f.src, obs.DropAbandoned)
+			pb.Drop(now, int64(seq), int64(f.src), obs.DropAbandoned)
 		}
 		if !f.measured {
 			return
@@ -322,7 +322,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 					st.Duplicates++
 				}
 				if pb != nil {
-					pb.Drop(now, int64(pkt.seq), at, obs.DropDuplicate)
+					pb.Drop(now, int64(pkt.seq), int64(at), obs.DropDuplicate)
 				}
 				return
 			}
@@ -337,13 +337,13 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 				}
 			}
 			if pb != nil {
-				pb.Deliver(now, int64(pkt.seq), at, lat, f.measured)
+				pb.Deliver(now, int64(pkt.seq), int64(at), lat, f.measured)
 			}
 			return
 		}
 		if pkt.hops >= hopLimit { // livelock watchdog
 			if pb != nil {
-				pb.Drop(now, int64(pkt.seq), at, obs.DropHopLimit)
+				pb.Drop(now, int64(pkt.seq), int64(at), obs.DropHopLimit)
 			}
 			return
 		}
@@ -354,7 +354,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		q := &links[at][slotOf[at][nh]].queue
 		*q = append(*q, pkt)
 		if pb != nil {
-			pb.Enqueue(now, int64(pkt.seq), at, nh, len(*q))
+			pb.Enqueue(now, int64(pkt.seq), int64(at), int64(nh), len(*q))
 		}
 	}
 
@@ -362,7 +362,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		switch c.kind {
 		case NodeFault:
 			if pb != nil {
-				pb.Fault(now, c.u, -1, true, c.down)
+				pb.Fault(now, int64(c.u), -1, true, c.down)
 			}
 			if c.down {
 				nodeDownCnt[c.u]++
@@ -372,7 +372,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 					for s := range links[c.u] {
 						if pb != nil {
 							for _, pkt := range links[c.u][s].queue {
-								pb.Drop(now, int64(pkt.seq), c.u, obs.DropQueueKilled)
+								pb.Drop(now, int64(pkt.seq), int64(c.u), obs.DropQueueKilled)
 							}
 						}
 						links[c.u][s].queue = links[c.u][s].queue[:0]
@@ -384,7 +384,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 			}
 		case LinkFault:
 			if pb != nil {
-				pb.Fault(now, c.u, c.v, false, c.down)
+				pb.Fault(now, int64(c.u), int64(c.v), false, c.down)
 			}
 			mark := func(a, b int32) {
 				lk := &links[a][slotOf[a][b]]
@@ -436,7 +436,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		for _, a := range ring[slot] {
 			if nodeDead(a.node) {
 				if pb != nil {
-					pb.Drop(now, int64(a.pkt.seq), a.node, obs.DropDeadRouter)
+					pb.Drop(now, int64(a.pkt.seq), int64(a.node), obs.DropDeadRouter)
 				}
 				continue // arrived at a dead router: copy lost
 			}
@@ -459,7 +459,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 					st.Retransmitted++
 				}
 				if pb != nil {
-					pb.Retransmit(now, int64(seq), f.src, f.attempt)
+					pb.Retransmit(now, int64(seq), int64(f.src), f.attempt)
 				}
 				f.timeout *= 2
 				retryAt[now+f.timeout] = append(retryAt[now+f.timeout], seq)
@@ -491,7 +491,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 					outstandingMeasured++
 				}
 				if pb != nil {
-					pb.Inject(now, int64(seq), int32(u), dst, measured)
+					pb.Inject(now, int64(seq), int64(u), int64(dst), measured)
 				}
 				retryAt[now+fc.RetransmitTimeout] = append(retryAt[now+fc.RetransmitTimeout], seq)
 				enqueue(now, int32(u), fpacket{dst: dst, seq: seq, ttl: maxInt(fc.DetourTTL, 0), measured: measured})
@@ -521,7 +521,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 					delay = p
 				}
 				if pb != nil {
-					pb.Hop(now, int64(pkt.seq), int32(u), adj[s], occupy, len(lk.queue))
+					pb.Hop(now, int64(pkt.seq), int64(u), int64(adj[s]), occupy, len(lk.queue))
 				}
 				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
 			}

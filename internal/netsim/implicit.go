@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Topology is the neighbor oracle consumed by RunImplicit. It is satisfied
@@ -60,6 +62,41 @@ type ImplicitConfig struct {
 	// (default 4096): algebraic routers are deterministic oracles, and a
 	// buggy one could otherwise cycle a packet forever.
 	MaxHops int
+	// Probe observes the run (see internal/obs). Nil (the default) is the
+	// fast path: no obs code runs and the stats are bit-for-bit identical
+	// to an unprobed run — probes watch the simulation, they never steer
+	// it. Event semantics on the sparse simulators are documented in the
+	// obs package ("Probe semantics on implicit runs").
+	Probe obs.Probe
+}
+
+// routerStatser is the optional router extension exposing the cumulative
+// RouterStats telemetry snapshot; topo.Algebraic and topo.FaultAware
+// implement it. The simulators snapshot it around a run and report the
+// delta in ImplicitStats/ImplicitFaultStats.
+type routerStatser interface {
+	RouterStats() obs.RouterStats
+}
+
+// ImplicitStats extends the shared Stats with the router-side telemetry of
+// an implicit run. The struct is comparable (fixed-size fields only), so
+// determinism tests can compare whole results with ==.
+type ImplicitStats struct {
+	Stats
+	// Router holds the suffix-cache and detour counters the run's Router
+	// accumulated during this run (post-run snapshot minus pre-run
+	// snapshot; occupancy is the post-run absolute value). Zero when the
+	// Router does not expose RouterStats.
+	Router obs.RouterStats
+}
+
+// ImplicitFaultStats extends FaultStats the same way for RunImplicitFaulty.
+type ImplicitFaultStats struct {
+	FaultStats
+	// Router as in ImplicitStats; under faults it additionally carries the
+	// epoch-purge counters and the conjugate vs. local-detour reroute
+	// split with the detour-depth histogram.
+	Router obs.RouterStats
 }
 
 func (cfg *ImplicitConfig) normalize() error {
@@ -132,6 +169,7 @@ func injectionCount(n int64, rate float64, rng *rand.Rand) int64 {
 }
 
 type ipacket struct {
+	id       int64
 	dst      int64
 	born     int
 	hops     int
@@ -154,14 +192,21 @@ type ilink struct {
 // arrival ring are allocated on demand and reclaimed when idle, and next
 // hops come from the algebraic Router, so total memory is proportional to
 // the in-flight packet population — independent of N. Runs are deterministic
-// in the configuration (including Seed).
-func RunImplicit(cfg ImplicitConfig) (Stats, error) {
+// in the configuration (including Seed) and unperturbed by cfg.Probe.
+func RunImplicit(cfg ImplicitConfig) (ImplicitStats, error) {
+	var out ImplicitStats
 	if err := cfg.normalize(); err != nil {
-		return Stats{}, err
+		return out, err
 	}
 	n := cfg.Topo.N()
 	deg := int64(cfg.Topo.MaxDegree())
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	pb := cfg.Probe // nil-check fast path: no obs code runs uninstrumented
+	statser, _ := cfg.Router.(routerStatser)
+	var routerBase obs.RouterStats
+	if statser != nil {
+		routerBase = statser.RouterStats()
+	}
 
 	period := func(u, v int64) int {
 		if cfg.ModuleOf == nil || cfg.ModuleOf(u) == cfg.ModuleOf(v) {
@@ -199,18 +244,21 @@ func RunImplicit(cfg ImplicitConfig) (Stats, error) {
 	}
 	ring := make([][]iarrival, maxDelay+1)
 
-	st := Stats{}
+	st := &out.Stats
 	var latencySum int64
 	inFlightMeasured := 0
 	enqueue := func(now int, at int64, pkt ipacket) error {
 		if pkt.dst == at {
+			lat := now - pkt.born
 			if pkt.measured {
 				st.Delivered++
-				lat := now - pkt.born
 				latencySum += int64(lat)
 				if lat > st.MaxLatency {
 					st.MaxLatency = lat
 				}
+			}
+			if pb != nil {
+				pb.Deliver(now, pkt.id, at, lat, pkt.measured)
 			}
 			return nil
 		}
@@ -226,6 +274,9 @@ func RunImplicit(cfg ImplicitConfig) (Stats, error) {
 			return err
 		}
 		lk.queue = append(lk.queue, pkt)
+		if pb != nil {
+			pb.Enqueue(now, pkt.id, at, nh, len(lk.queue))
+		}
 		return nil
 	}
 
@@ -239,7 +290,11 @@ func RunImplicit(cfg ImplicitConfig) (Stats, error) {
 
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	deadline := total + cfg.DrainCycles
+	var nextID int64
 	for now := 0; now < deadline; now++ {
+		if pb != nil {
+			pb.Tick(now)
+		}
 		// Deliver arrivals scheduled for this cycle.
 		slot := now % len(ring)
 		for _, a := range ring[slot] {
@@ -247,7 +302,7 @@ func RunImplicit(cfg ImplicitConfig) (Stats, error) {
 				inFlightMeasured--
 			}
 			if err := enqueue(now, a.node, a.pkt); err != nil {
-				return st, err
+				return out, err
 			}
 		}
 		ring[slot] = ring[slot][:0]
@@ -269,8 +324,13 @@ func RunImplicit(cfg ImplicitConfig) (Stats, error) {
 					st.Injected++
 					inFlightMeasured++
 				}
-				if err := enqueue(now, src, ipacket{dst: dst, born: now, measured: measured}); err != nil {
-					return st, err
+				id := nextID
+				nextID++
+				if pb != nil {
+					pb.Inject(now, id, src, dst, measured)
+				}
+				if err := enqueue(now, src, ipacket{id: id, dst: dst, born: now, measured: measured}); err != nil {
+					return out, err
 				}
 			}
 		} else if inFlightMeasured == 0 {
@@ -307,6 +367,9 @@ func RunImplicit(cfg ImplicitConfig) (Stats, error) {
 				delay = p
 			}
 			pkt.hops++
+			if pb != nil {
+				pb.Hop(now, pkt.id, lk.u, lk.v, occupy, len(lk.queue))
+			}
 			ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], iarrival{node: lk.v, pkt: pkt})
 			live = append(live, key)
 		}
@@ -319,5 +382,12 @@ func RunImplicit(cfg ImplicitConfig) (Stats, error) {
 	if cfg.MeasureCycles > 0 {
 		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
 	}
-	return st, nil
+	st.fillQuantiles(pb)
+	if statser != nil {
+		out.Router = statser.RouterStats().Delta(routerBase)
+		if ro, ok := pb.(obs.RouterObserver); ok {
+			ro.ObserveRouter(out.Router)
+		}
+	}
+	return out, nil
 }

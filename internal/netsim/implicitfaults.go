@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // FaultSink is the id-space liveness store shared between RunImplicitFaulty
@@ -84,26 +86,33 @@ type ImplicitFaultConfig struct {
 //     necessarily a router bug. Fault-free RunImplicit keeps its hard error.
 //   - A router that cannot produce a next hop (destination dead or region
 //     disconnected) costs the packet its life: Lost++, run continues.
-func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, error) {
+func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaultStats, error) {
+	var out ImplicitFaultStats
 	if err := cfg.normalize(); err != nil {
-		return FaultStats{}, err
+		return out, err
 	}
 	if fc.Plan.Len() > 0 && fc.Faults == nil {
-		return FaultStats{}, fmt.Errorf("netsim: a fault plan needs a FaultSink shared with the router")
+		return out, fmt.Errorf("netsim: a fault plan needs a FaultSink shared with the router")
 	}
 	if err := fc.Plan.ValidateTopo(cfg.Topo); err != nil {
-		return FaultStats{}, err
+		return out, err
 	}
 	n := cfg.Topo.N()
 	deg := int64(cfg.Topo.MaxDegree())
 	directed := cfg.Topo.Directed()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	faults := fc.Faults
+	pb := cfg.Probe // nil-check fast path, as in RunImplicit
 	flagged, _ := cfg.Router.(flaggedRouter)
 	counter, _ := cfg.Router.(rerouteCounter)
 	var baseReroutes, baseDetours uint64
 	if counter != nil {
 		baseReroutes, baseDetours = counter.RerouteCounts()
+	}
+	statser, _ := cfg.Router.(routerStatser)
+	var routerBase obs.RouterStats
+	if statser != nil {
+		routerBase = statser.RouterStats()
 	}
 
 	period := func(u, v int64) int {
@@ -161,29 +170,37 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 	}
 	ring := make([][]iarrival, maxDelay+1)
 
-	st := FaultStats{}
+	st := &out.FaultStats
 	var latencySum int64
 	inFlightMeasured := 0
 	// lose drops a packet; like RunFaulty, loss counters track measured
-	// traffic only, so Injected == Delivered + Lost + Expired.
-	lose := func(pkt ipacket) {
+	// traffic only, so Injected == Delivered + Lost + Expired. The probe,
+	// in contrast, sees every dropped copy (measured or not), tagged with
+	// where and why it died.
+	lose := func(now int, at int64, pkt ipacket, reason obs.DropReason) {
 		if pkt.measured {
 			st.Lost++
 			inFlightMeasured--
 		}
+		if pb != nil {
+			pb.Drop(now, pkt.id, at, reason)
+		}
 	}
 	enqueue := func(now int, at int64, pkt ipacket) error {
 		if pkt.dst == at {
+			lat := now - pkt.born
 			if pkt.measured {
 				st.Delivered++
 				if pkt.degraded {
 					st.DeliveredDegraded++
 				}
-				lat := now - pkt.born
 				latencySum += int64(lat)
 				if lat > st.MaxLatency {
 					st.MaxLatency = lat
 				}
+			}
+			if pb != nil {
+				pb.Deliver(now, pkt.id, at, lat, pkt.measured)
 			}
 			return nil
 		}
@@ -193,7 +210,7 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 			if pkt.measured {
 				st.HopLimitDrops++
 			}
-			lose(pkt)
+			lose(now, at, pkt, obs.DropHopLimit)
 			return nil
 		}
 		var nh int64
@@ -207,7 +224,7 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 		if err != nil {
 			// Destination dead or no fault-free route derivable: the packet
 			// is lost; the run continues.
-			lose(pkt)
+			lose(now, at, pkt, obs.DropNoRoute)
 			return nil
 		}
 		pkt.degraded = pkt.degraded || detoured
@@ -216,6 +233,9 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 			return err // a non-neighbor next hop is a router bug: hard stop
 		}
 		lk.queue = append(lk.queue, pkt)
+		if pb != nil {
+			pb.Enqueue(now, pkt.id, at, nh, len(lk.queue))
+		}
 		return nil
 	}
 
@@ -234,6 +254,9 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 	applyChange := func(now int, c topoChange) error {
 		switch c.kind {
 		case NodeFault:
+			if pb != nil {
+				pb.Fault(now, c.u, -1, true, c.down)
+			}
 			if c.down {
 				faults.FailNode(c.u)
 				st.FaultsInjected++
@@ -244,7 +267,7 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 					for port := int64(0); port < deg; port++ {
 						if lk, ok := links[c.u*deg+port]; ok {
 							for _, pkt := range lk.queue {
-								lose(pkt)
+								lose(now, c.u, pkt, obs.DropQueueKilled)
 							}
 							lk.queue = nil
 						}
@@ -255,6 +278,9 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 				st.FaultsRepaired++
 			}
 		case LinkFault:
+			if pb != nil {
+				pb.Fault(now, c.u, c.v, false, c.down)
+			}
 			if c.down {
 				faults.FailLink(c.u, c.v)
 				if !directed {
@@ -298,13 +324,17 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 	deadline := total + cfg.DrainCycles
+	var nextID int64
 	for now := 0; now < deadline; now++ {
+		if pb != nil {
+			pb.Tick(now)
+		}
 		// 0. Apply scheduled topology changes; the fault-set epoch bump
 		// invalidates the router's cached source routes.
 		if cs, hit := changesAt[now]; hit {
 			for _, c := range cs {
 				if err := applyChange(now, c); err != nil {
-					return st, err
+					return out, err
 				}
 			}
 		}
@@ -312,14 +342,15 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 		slot := now % len(ring)
 		for _, a := range ring[slot] {
 			if faults != nil && faults.NodeDown(a.node) {
-				lose(a.pkt) // arrived at a dead router: packet lost
+				// Arrived at a dead router: packet lost.
+				lose(now, a.node, a.pkt, obs.DropDeadRouter)
 				continue
 			}
 			if a.pkt.measured && a.pkt.dst == a.node {
 				inFlightMeasured--
 			}
 			if err := enqueue(now, a.node, a.pkt); err != nil {
-				return st, err
+				return out, err
 			}
 		}
 		ring[slot] = ring[slot][:0]
@@ -345,8 +376,13 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 					st.Injected++
 					inFlightMeasured++
 				}
-				if err := enqueue(now, src, ipacket{dst: dst, born: now, measured: measured}); err != nil {
-					return st, err
+				id := nextID
+				nextID++
+				if pb != nil {
+					pb.Inject(now, id, src, dst, measured)
+				}
+				if err := enqueue(now, src, ipacket{id: id, dst: dst, born: now, measured: measured}); err != nil {
+					return out, err
 				}
 			}
 		} else if inFlightMeasured == 0 && now > lastChange {
@@ -388,6 +424,9 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 				delay = p
 			}
 			pkt.hops++
+			if pb != nil {
+				pb.Hop(now, pkt.id, lk.u, lk.v, occupy, len(lk.queue))
+			}
 			ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], iarrival{node: lk.v, pkt: pkt})
 			live = append(live, key)
 		}
@@ -405,5 +444,12 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (FaultStats, 
 		st.RerouteEvents = int(re - baseReroutes)
 		st.MisroutedHops = int(dh - baseDetours)
 	}
-	return st, nil
+	st.fillQuantiles(pb)
+	if statser != nil {
+		out.Router = statser.RouterStats().Delta(routerBase)
+		if ro, ok := pb.(obs.RouterObserver); ok {
+			ro.ObserveRouter(out.Router)
+		}
+	}
+	return out, nil
 }

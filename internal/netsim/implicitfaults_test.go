@@ -48,7 +48,7 @@ func TestRunImplicitFaultyEmptyPlanIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Stats != want {
+	if got.Stats != want.Stats {
 		t.Fatalf("fault-free stats diverge:\nfaulty run: %+v\nplain run:  %+v", got.Stats, want)
 	}
 	if got.Lost != 0 || got.DeliveredDegraded != 0 || got.HopLimitDrops != 0 ||
@@ -84,7 +84,7 @@ func faultyPlanFor(t *testing.T, imp *topo.Implicit, seed int64) *FaultPlan {
 // configuration and requires identical degraded-mode statistics: fault
 // application, rerouting, and drops must consume no randomness.
 func TestRunImplicitFaultyDeterministic(t *testing.T) {
-	run := func() FaultStats {
+	run := func() ImplicitFaultStats {
 		_, imp, fs, fa := faultTestNet(t)
 		plan := faultyPlanFor(t, imp, 3)
 		st, err := RunImplicitFaulty(ImplicitConfig{Topo: imp, Router: fa,

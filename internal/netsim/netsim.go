@@ -352,7 +352,7 @@ func Run(cfg Config) (Stats, error) {
 				}
 			}
 			if pb != nil {
-				pb.Deliver(now, pkt.id, at, lat, pkt.measured)
+				pb.Deliver(now, pkt.id, int64(at), lat, pkt.measured)
 			}
 			return nil
 		}
@@ -366,7 +366,7 @@ func Run(cfg Config) (Stats, error) {
 		}
 		links[at][slot].queue = append(links[at][slot].queue, pkt)
 		if pb != nil {
-			pb.Enqueue(now, pkt.id, at, nh, len(links[at][slot].queue))
+			pb.Enqueue(now, pkt.id, int64(at), int64(nh), len(links[at][slot].queue))
 		}
 		return nil
 	}
@@ -406,7 +406,7 @@ func Run(cfg Config) (Stats, error) {
 					id := nextID
 					nextID++
 					if pb != nil {
-						pb.Inject(now, id, int32(u), dst, measured)
+						pb.Inject(now, id, int64(u), int64(dst), measured)
 					}
 					if err := enqueue(now, int32(u), packet{id: id, dst: dst, born: now, measured: measured}); err != nil {
 						return st, err
@@ -434,7 +434,7 @@ func Run(cfg Config) (Stats, error) {
 					delay = p // head proceeds while the tail drains
 				}
 				if pb != nil {
-					pb.Hop(now, pkt.id, int32(u), adj[s], occupy, len(lk.queue))
+					pb.Hop(now, pkt.id, int64(u), int64(adj[s]), occupy, len(lk.queue))
 				}
 				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
 			}

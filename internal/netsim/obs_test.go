@@ -94,7 +94,8 @@ func TestProbeDoesNotPerturbRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	hist := &obs.LatencyHist{}
-	ts := obs.NewTimeSeries(cfg.Graph, cfg.Partition, 50)
+	part := cfg.Partition
+	ts := obs.NewTimeSeries(func(u int64) int64 { return int64(part.Of[u]) }, 50)
 	trace := &obs.Trace{SampleEvery: 4}
 	cfg.Probe = obs.Multi(hist, ts, trace, &obs.Progress{Every: 500, W: io.Discard})
 	probed, err := Run(cfg)
@@ -144,7 +145,7 @@ func TestProbeDoesNotPerturbRunFaulty(t *testing.T) {
 	}
 	hist := &obs.LatencyHist{}
 	trace := &obs.Trace{}
-	cfg.Probe = obs.Multi(hist, obs.NewTimeSeries(g, nil, 100), trace)
+	cfg.Probe = obs.Multi(hist, obs.NewTimeSeries(nil, 100), trace)
 	probed, err := RunFaulty(cfg, fc)
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +166,7 @@ func TestProbeDoesNotPerturbRunFaulty(t *testing.T) {
 // routing is the sum of shortest-path distances of the injected packets.
 func TestTimeSeriesUtilizationMatchesHopCounts(t *testing.T) {
 	g := mustBuild(t, networks.Torus2D{Rows: 4, Cols: 4}.Build)
-	ts := obs.NewTimeSeries(g, nil, 64)
+	ts := obs.NewTimeSeries(nil, 64)
 	rec := &injectRecorder{}
 	st, err := Run(Config{Graph: g, InjectionRate: 0.05, WarmupCycles: 0,
 		MeasureCycles: 400, Seed: 9, Probe: obs.Multi(ts, rec)})
@@ -179,7 +180,7 @@ func TestTimeSeriesUtilizationMatchesHopCounts(t *testing.T) {
 	// recorded) takes exactly dist(src,dst) hops of one busy cycle each.
 	var want int64
 	for _, p := range rec.pairs {
-		want += int64(g.BFS(p[0])[p[1]])
+		want += int64(g.BFS(int32(p[0]))[p[1]])
 	}
 	if got := ts.TotalBusy(); got != want {
 		t.Fatalf("summed link busy cycles %d != summed shortest distances %d", got, want)
@@ -214,11 +215,11 @@ func TestTimeSeriesUtilizationMatchesHopCounts(t *testing.T) {
 // injectRecorder captures (src, dst) of every injection.
 type injectRecorder struct {
 	obs.NopProbe
-	pairs [][2]int32
+	pairs [][2]int64
 }
 
-func (r *injectRecorder) Inject(_ int, _ int64, src, dst int32, _ bool) {
-	r.pairs = append(r.pairs, [2]int32{src, dst})
+func (r *injectRecorder) Inject(_ int, _ int64, src, dst int64, _ bool) {
+	r.pairs = append(r.pairs, [2]int64{src, dst})
 }
 
 // TestExpiredCountsUndrainedPackets starves the drain window so measured
@@ -348,7 +349,7 @@ type rerouteRecorder struct {
 	lagSum int64
 }
 
-func (r *rerouteRecorder) Reroute(_ int, _ int32, lag int) {
+func (r *rerouteRecorder) Reroute(_ int, _ int64, lag int) {
 	r.events++
 	r.lagSum += int64(lag)
 }

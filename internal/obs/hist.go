@@ -26,7 +26,7 @@ type LatencyHist struct {
 }
 
 // Deliver records the latency of measured deliveries (Probe hook).
-func (h *LatencyHist) Deliver(_ int, _ int64, _ int32, latency int, measured bool) {
+func (h *LatencyHist) Deliver(_ int, _ int64, _ int64, latency int, measured bool) {
 	if !measured {
 		return
 	}

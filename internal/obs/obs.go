@@ -1,17 +1,39 @@
-// Package obs is the observability layer of the packet simulator: a Probe
+// Package obs is the observability layer of the packet simulators: a Probe
 // interface that internal/netsim invokes at every interesting event of a run
 // (injection, queueing, link transmission, delivery, drops, retransmission,
 // topology faults, and routing-table rebuilds) plus a set of built-in
-// collectors — log-bucketed latency histograms (LatencyHist), per-link and
-// per-module time series with CSV/JSONL export (TimeSeries), a sampled
-// packet-lifecycle tracer emitting Chrome trace-event JSON (Trace), and a
-// live progress ticker (Progress).
+// collectors — log-bucketed latency histograms (LatencyHist), per-link time
+// series with CSV/JSONL export (TimeSeries), module-aggregated time series
+// whose memory is bounded by module count rather than node count
+// (ModuleSeries), a sampled packet-lifecycle tracer emitting Chrome
+// trace-event JSON (Trace), a live progress ticker (Progress), and a
+// concurrency-safe metrics registry for long-running processes (Registry).
 //
 // The layer is zero-overhead when disabled: netsim guards every hook with a
 // nil check, so an uninstrumented run executes no obs code at all and
 // reproduces its statistics bit for bit. Probes must not mutate simulator
 // state; they only watch. Collectors are not safe for concurrent use — one
-// collector instance belongs to one run.
+// collector instance belongs to one run — except the Registry, which is
+// explicitly built for concurrent writers.
+//
+// Node ids are int64 throughout: the implicit simulators route id spaces
+// far beyond 2^31 (a sym-HSN(4;Q5) has 25,165,824 nodes today and the model
+// admits larger instances), so probe events carry the full id width and
+// never truncate.
+//
+// # Probe semantics on implicit runs
+//
+// netsim.RunImplicit and RunImplicitFaulty allocate link FIFOs lazily: a
+// directed link exists in memory only while it holds or recently carried a
+// packet. The probe contract is unchanged — Enqueue fires when a packet
+// joins the FIFO of a directed link (allocating it if this is the link's
+// first use), and Hop fires when the link starts transmitting — so
+// collectors cannot tell a lazily allocated link from a preallocated one.
+// Two differences are observable: packet ids count every injection (there
+// are no retransmissions, so ids are unique per packet, not per flow), and
+// Reroute never fires (implicit runs own no routing tables to rebuild —
+// fault repair happens inside the router and is reported through
+// RouterStats instead).
 package obs
 
 import (
@@ -20,8 +42,8 @@ import (
 )
 
 // DropReason classifies why the simulator discarded a packet copy. Most
-// reasons only occur under fault injection (netsim.RunFaulty); fault-free
-// runs never drop.
+// reasons only occur under fault injection (netsim.RunFaulty /
+// RunImplicitFaulty); fault-free runs never drop.
 type DropReason uint8
 
 const (
@@ -65,38 +87,48 @@ func (r DropReason) String() string {
 
 // Probe receives simulator events. All hooks run synchronously inside the
 // simulation loop, so implementations should be cheap; heavy rendering
-// belongs after the run. Packet ids are stable per run: in netsim.Run every
-// injected packet gets a fresh id; in netsim.RunFaulty the id is the flow
-// sequence number, shared by the original transmission and all its
-// retransmitted copies.
+// belongs after the run. Packet ids are stable per run: in netsim.Run and
+// RunImplicit every injected packet gets a fresh id; in netsim.RunFaulty the
+// id is the flow sequence number, shared by the original transmission and
+// all its retransmitted copies.
 type Probe interface {
 	// Tick fires once per simulated cycle, before that cycle's events.
 	Tick(cycle int)
 	// Inject fires when a node sources a new packet (not retransmissions).
-	Inject(cycle int, id int64, src, dst int32, measured bool)
+	Inject(cycle int, id int64, src, dst int64, measured bool)
 	// Enqueue fires when a packet joins the FIFO of the directed link
 	// at -> next; qlen is the queue length including the new packet.
-	Enqueue(cycle int, id int64, at, next int32, qlen int)
+	Enqueue(cycle int, id int64, at, next int64, qlen int)
 	// Hop fires when the link from -> to starts transmitting a packet;
 	// occupy is how many cycles the link stays busy (period * flits) and
 	// qlen the queue length left behind.
-	Hop(cycle int, id int64, from, to int32, occupy, qlen int)
+	Hop(cycle int, id int64, from, to int64, occupy, qlen int)
 	// Deliver fires when the destination accepts a packet; latency is in
 	// cycles since injection.
-	Deliver(cycle int, id int64, node int32, latency int, measured bool)
+	Deliver(cycle int, id int64, node int64, latency int, measured bool)
 	// Drop fires when a copy (or, for DropAbandoned, a whole flow) is
 	// discarded at node `at`.
-	Drop(cycle int, id int64, at int32, reason DropReason)
+	Drop(cycle int, id int64, at int64, reason DropReason)
 	// Retransmit fires when a source re-sends an undelivered flow; attempt
 	// counts retransmissions so far (1 = first retry).
-	Retransmit(cycle int, id int64, src int32, attempt int)
+	Retransmit(cycle int, id int64, src int64, attempt int)
 	// Fault fires on topology changes: node is true for node faults (v is
 	// then -1), down is true for a failure and false for a repair.
-	Fault(cycle int, u, v int32, node, down bool)
+	Fault(cycle int, u, v int64, node, down bool)
 	// Reroute fires when a per-destination next-hop table is rebuilt after
 	// a topology-change notification; lag is the cycles elapsed between the
-	// first change the table missed and this rebuild.
-	Reroute(cycle int, dst int32, lag int)
+	// first change the table missed and this rebuild. Implicit runs never
+	// fire it (no tables exist); router-side repair shows up in RouterStats.
+	Reroute(cycle int, dst int64, lag int)
+}
+
+// RouterObserver is the optional Probe extension that receives the run's
+// final RouterStats snapshot (suffix-cache and detour telemetry of an
+// algebraic router). The implicit simulators call it once, after the last
+// cycle, when the run's Router exposes stats; obs.Multi forwards it to every
+// member that implements it.
+type RouterObserver interface {
+	ObserveRouter(rs RouterStats)
 }
 
 // NopProbe implements every Probe hook as a no-op; embed it to build
@@ -104,14 +136,14 @@ type Probe interface {
 type NopProbe struct{}
 
 func (NopProbe) Tick(int)                               {}
-func (NopProbe) Inject(int, int64, int32, int32, bool)  {}
-func (NopProbe) Enqueue(int, int64, int32, int32, int)  {}
-func (NopProbe) Hop(int, int64, int32, int32, int, int) {}
-func (NopProbe) Deliver(int, int64, int32, int, bool)   {}
-func (NopProbe) Drop(int, int64, int32, DropReason)     {}
-func (NopProbe) Retransmit(int, int64, int32, int)      {}
-func (NopProbe) Fault(int, int32, int32, bool, bool)    {}
-func (NopProbe) Reroute(int, int32, int)                {}
+func (NopProbe) Inject(int, int64, int64, int64, bool)  {}
+func (NopProbe) Enqueue(int, int64, int64, int64, int)  {}
+func (NopProbe) Hop(int, int64, int64, int64, int, int) {}
+func (NopProbe) Deliver(int, int64, int64, int, bool)   {}
+func (NopProbe) Drop(int, int64, int64, DropReason)     {}
+func (NopProbe) Retransmit(int, int64, int64, int)      {}
+func (NopProbe) Fault(int, int64, int64, bool, bool)    {}
+func (NopProbe) Reroute(int, int64, int)                {}
 
 // multi fans every event out to a list of probes, in order.
 type multi []Probe
@@ -141,51 +173,61 @@ func (m multi) Tick(cycle int) {
 	}
 }
 
-func (m multi) Inject(cycle int, id int64, src, dst int32, measured bool) {
+func (m multi) Inject(cycle int, id int64, src, dst int64, measured bool) {
 	for _, p := range m {
 		p.Inject(cycle, id, src, dst, measured)
 	}
 }
 
-func (m multi) Enqueue(cycle int, id int64, at, next int32, qlen int) {
+func (m multi) Enqueue(cycle int, id int64, at, next int64, qlen int) {
 	for _, p := range m {
 		p.Enqueue(cycle, id, at, next, qlen)
 	}
 }
 
-func (m multi) Hop(cycle int, id int64, from, to int32, occupy, qlen int) {
+func (m multi) Hop(cycle int, id int64, from, to int64, occupy, qlen int) {
 	for _, p := range m {
 		p.Hop(cycle, id, from, to, occupy, qlen)
 	}
 }
 
-func (m multi) Deliver(cycle int, id int64, node int32, latency int, measured bool) {
+func (m multi) Deliver(cycle int, id int64, node int64, latency int, measured bool) {
 	for _, p := range m {
 		p.Deliver(cycle, id, node, latency, measured)
 	}
 }
 
-func (m multi) Drop(cycle int, id int64, at int32, reason DropReason) {
+func (m multi) Drop(cycle int, id int64, at int64, reason DropReason) {
 	for _, p := range m {
 		p.Drop(cycle, id, at, reason)
 	}
 }
 
-func (m multi) Retransmit(cycle int, id int64, src int32, attempt int) {
+func (m multi) Retransmit(cycle int, id int64, src int64, attempt int) {
 	for _, p := range m {
 		p.Retransmit(cycle, id, src, attempt)
 	}
 }
 
-func (m multi) Fault(cycle int, u, v int32, node, down bool) {
+func (m multi) Fault(cycle int, u, v int64, node, down bool) {
 	for _, p := range m {
 		p.Fault(cycle, u, v, node, down)
 	}
 }
 
-func (m multi) Reroute(cycle int, dst int32, lag int) {
+func (m multi) Reroute(cycle int, dst int64, lag int) {
 	for _, p := range m {
 		p.Reroute(cycle, dst, lag)
+	}
+}
+
+// ObserveRouter forwards the router snapshot to every member that cares
+// (RouterObserver).
+func (m multi) ObserveRouter(rs RouterStats) {
+	for _, p := range m {
+		if o, ok := p.(RouterObserver); ok {
+			o.ObserveRouter(rs)
+		}
 	}
 }
 
@@ -222,14 +264,14 @@ func (p *Progress) Tick(cycle int) {
 		cycle, p.injected, p.delivered, p.dropped, p.retx)
 }
 
-func (p *Progress) Inject(int, int64, int32, int32, bool) { p.injected++ }
+func (p *Progress) Inject(int, int64, int64, int64, bool) { p.injected++ }
 
-func (p *Progress) Deliver(int, int64, int32, int, bool) { p.delivered++ }
+func (p *Progress) Deliver(int, int64, int64, int, bool) { p.delivered++ }
 
-func (p *Progress) Drop(_ int, _ int64, _ int32, reason DropReason) {
+func (p *Progress) Drop(_ int, _ int64, _ int64, reason DropReason) {
 	if reason != DropDuplicate {
 		p.dropped++
 	}
 }
 
-func (p *Progress) Retransmit(int, int64, int32, int) { p.retx++ }
+func (p *Progress) Retransmit(int, int64, int64, int) { p.retx++ }

@@ -5,9 +5,6 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
-
-	"repro/internal/metrics"
-	"repro/internal/networks"
 )
 
 func TestLatencyHistQuantiles(t *testing.T) {
@@ -182,12 +179,9 @@ func TestTraceSamplingAndJSON(t *testing.T) {
 }
 
 func TestTimeSeriesSnapshotsAndExports(t *testing.T) {
-	g, err := networks.Ring{Nodes: 4}.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	part := &metrics.Partition{Of: []int32{0, 0, 1, 1}, K: 2}
-	ts := NewTimeSeries(g, part, 10)
+	// 4-node ring split into modules {0,1} and {2,3}.
+	moduleOf := func(u int64) int64 { return u / 2 }
+	ts := NewTimeSeries(moduleOf, 10)
 	// Cycle 3: packet 7 queues on 0->1 (on-module) and transmits for 2
 	// cycles; packet 8 queues on 1->2 (off-module).
 	ts.Tick(3)
@@ -209,8 +203,11 @@ func TestTimeSeriesSnapshotsAndExports(t *testing.T) {
 		t.Fatalf("top link wrong: %+v", top)
 	}
 	all := ts.TopLinks(0)
-	if len(all) != 8 { // 4-ring has 8 directed links
-		t.Fatalf("TopLinks(0) returned %d links, want all 8", len(all))
+	if len(all) != 2 { // only the two links that saw traffic are tracked
+		t.Fatalf("TopLinks(0) returned %d links, want the 2 active ones", len(all))
+	}
+	if ts.ActiveLinks() != 2 {
+		t.Fatalf("ActiveLinks = %d, want 2", ts.ActiveLinks())
 	}
 	var linkCSV, modCSV, jsonl bytes.Buffer
 	if err := ts.WriteCSV(&linkCSV); err != nil {
@@ -246,15 +243,19 @@ func TestTimeSeriesSnapshotsAndExports(t *testing.T) {
 	}
 }
 
-func TestTimeSeriesIgnoresUnknownLinks(t *testing.T) {
-	g, err := networks.Ring{Nodes: 4}.Build()
-	if err != nil {
-		t.Fatal(err)
+func TestTimeSeriesLazyAllocationAndWideIDs(t *testing.T) {
+	// No module map, ids far beyond 2^31: the collector allocates link state
+	// on first sight and never truncates.
+	ts := NewTimeSeries(nil, 5)
+	const big = int64(1) << 40
+	ts.Enqueue(1, 1, big, big+1, 1)
+	ts.Hop(1, 1, big, big+1, 1, 0)
+	ts.Flush()
+	if ts.ActiveLinks() != 1 || ts.TotalBusy() != 1 {
+		t.Fatalf("active %d busy %d, want 1/1", ts.ActiveLinks(), ts.TotalBusy())
 	}
-	ts := NewTimeSeries(g, nil, 5)
-	ts.Hop(1, 1, 0, 2, 1, 0) // 0-2 is not a ring link; must not panic
-	ts.Enqueue(1, 1, 3, 1, 1)
-	if ts.TotalBusy() != 0 {
-		t.Fatal("unknown link accumulated busy time")
+	top := ts.TopLinks(0)
+	if len(top) != 1 || top[0].U != big || top[0].V != big+1 || top[0].OffModule {
+		t.Fatalf("wide-id link load wrong: %+v", top)
 	}
 }

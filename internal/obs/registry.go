@@ -1,0 +1,289 @@
+// Concurrency-safe metrics registry: the serving-side half of the
+// observability layer. The collectors in this package are single-run,
+// single-goroutine objects; a long-running process (cmd/simulate sweeps
+// today, the routed service the ROADMAP plans) instead needs counters that
+// many goroutines can bump, gauges it can set from anywhere, and histograms
+// that absorb concurrent observations without a lock on the hot path. The
+// registry provides exactly that — atomic counters and gauges plus striped
+// histograms — along with expvar export for live inspection and a JSON run
+// manifest that snapshots everything (config, seed, stats, percentiles,
+// router counters) into one machine-readable record of a run.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (concurrency-safe).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value (concurrency-safe).
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add shifts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histStripes is the stripe count of StripedHist: a small power of two —
+// enough to keep heavily concurrent writers off each other's cache lines,
+// small enough that merging at read time stays trivial.
+const histStripes = 8
+
+// histBuckets covers every non-negative int64 value: bucket b holds values
+// with bit length b (the same log2 bucketing as LatencyHist).
+const histBuckets = 65
+
+// histStripe is one independently updated copy of the bucket array, padded
+// to its own cache lines so stripes don't false-share.
+type histStripe struct {
+	count [histBuckets]atomic.Int64
+	n     atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+	_     [64]byte
+}
+
+// StripedHist is a log2-bucketed histogram safe for concurrent Observe
+// calls. Writers are spread over stripes by a hash of the observed value,
+// so no mutex is taken anywhere; Snapshot merges the stripes into a
+// LatencyHist for quantile queries. The zero value is ready to use.
+type StripedHist struct {
+	stripes [histStripes]histStripe
+}
+
+// Observe records one non-negative sample (negative values clamp to 0).
+func (h *StripedHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Fibonacci-hash the value to pick a stripe: cheap, stateless, and
+	// spreads distinct values across stripes (identical values share one
+	// stripe, which is still contention-free in the atomic sense).
+	s := &h.stripes[(uint64(v)*0x9E3779B97F4A7C15)>>59&(histStripes-1)]
+	s.count[bits.Len64(uint64(v))].Add(1)
+	s.n.Add(1)
+	s.sum.Add(v)
+	for {
+		old := s.max.Load()
+		if v <= old || s.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Count returns the total number of samples across all stripes.
+func (h *StripedHist) Count() int64 {
+	var n int64
+	for i := range h.stripes {
+		n += h.stripes[i].n.Load()
+	}
+	return n
+}
+
+// Snapshot merges the stripes into a point-in-time LatencyHist, which
+// answers Quantile/Mean/Max/WriteText. The snapshot is internally
+// consistent per stripe; concurrent writers may land between stripe reads,
+// which skews a live snapshot by at most the in-flight observations.
+func (h *StripedHist) Snapshot() *LatencyHist {
+	out := &LatencyHist{}
+	top := 0
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		out.n += s.n.Load()
+		out.sum += s.sum.Load()
+		if m := int(s.max.Load()); m > out.max {
+			out.max = m
+		}
+		for b := histBuckets - 1; b >= 0; b-- {
+			if s.count[b].Load() != 0 && b > top {
+				top = b
+			}
+		}
+	}
+	out.count = make([]int64, top+1)
+	for i := range h.stripes {
+		for b := 0; b <= top; b++ {
+			out.count[b] += h.stripes[i].count[b].Load()
+		}
+	}
+	return out
+}
+
+// Registry is a named collection of counters, gauges, and striped
+// histograms. Lookups take a mutex (they happen once per metric, at wiring
+// time); the returned metric objects are lock-free to update. The zero
+// value is ready to use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*StripedHist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Hist returns the named striped histogram, creating it on first use.
+func (r *Registry) Hist(name string) *StripedHist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*StripedHist{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &StripedHist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a point-in-time view of every metric: counters and
+// gauges by value, histograms as {count, mean, p50, p95, p99, max}
+// summaries. Keys are the registered names; the map is sorted-stable when
+// marshaled (encoding/json sorts map keys).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*StripedHist, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := map[string]any{}
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	for k, g := range gauges {
+		out[k] = g.Value()
+	}
+	for k, h := range hists {
+		s := h.Snapshot()
+		p50, p95, p99, max := s.Summary()
+		out[k] = map[string]any{
+			"count": s.Count(), "mean": s.Mean(),
+			"p50": p50, "p95": p95, "p99": p99, "max": max,
+		}
+	}
+	return out
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// expvarPublished guards expvar.Publish, which panics on duplicate names —
+// a process (or test binary) may build registries repeatedly under one
+// expvar namespace, so re-publishing a name silently rebinds nothing and
+// keeps the first registration.
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry under the given expvar name as a
+// single Func variable whose value is Snapshot(). Safe to call repeatedly;
+// only the first call for a name binds (expvar forbids re-publication).
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Manifest is the machine-readable record of one run: what was simulated
+// (config and seed), what came out (the simulator's stats struct and
+// latency percentiles), how the router behaved (RouterStats), and whatever
+// the process accumulated in its registry. cmd/simulate writes one per
+// (ratio, rate) combination under -manifest.
+type Manifest struct {
+	Run         string             `json:"run"`
+	Config      map[string]any     `json:"config,omitempty"`
+	Seed        int64              `json:"seed"`
+	Stats       any                `json:"stats,omitempty"`
+	Percentiles map[string]float64 `json:"percentiles,omitempty"`
+	Router      *RouterStats       `json:"router,omitempty"`
+	Metrics     map[string]any     `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,170 @@
+package obs
+
+// Tests for the concurrency-safe metrics registry: exact totals under
+// goroutine hammering (run under -race in CI), stripe-merge agreement with
+// the single-threaded histogram, create-on-first-use identity, expvar
+// publication idempotence, and the manifest's JSON shape.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentExactTotals hammers one counter, one gauge, and one
+// striped histogram from many goroutines and requires exact totals: atomics
+// lose nothing, and the stripe merge double-counts nothing.
+func TestRegistryConcurrentExactTotals(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("events")
+			g := reg.Gauge("level")
+			h := reg.Hist("latency")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 257))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	if got := reg.Counter("events").Value(); got != total {
+		t.Fatalf("counter lost updates: %d, want %d", got, total)
+	}
+	if got := reg.Gauge("level").Value(); got != total {
+		t.Fatalf("gauge lost updates: %d, want %d", got, total)
+	}
+	h := reg.Hist("latency")
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram lost observations: %d, want %d", got, total)
+	}
+	snap := h.Snapshot()
+	if snap.Count() != total {
+		t.Fatalf("stripe merge count %d, want %d", snap.Count(), total)
+	}
+	// Each worker observes 0..256 cyclically, so the exact sum is known.
+	var perWorkerSum int64
+	for i := 0; i < perWorker; i++ {
+		perWorkerSum += int64(i % 257)
+	}
+	wantMean := float64(workers*perWorkerSum) / float64(total)
+	if snap.Mean() != wantMean {
+		t.Fatalf("stripe merge mean %v, want %v", snap.Mean(), wantMean)
+	}
+	if snap.Max() != 256 {
+		t.Fatalf("stripe merge max %d, want 256", snap.Max())
+	}
+}
+
+// TestStripedHistMatchesLatencyHist feeds the same samples to the striped
+// histogram and the single-threaded LatencyHist: the snapshot must agree on
+// count, sum (via mean), max, and every quantile — same buckets, same
+// interpolation.
+func TestStripedHistMatchesLatencyHist(t *testing.T) {
+	sh := &StripedHist{}
+	lh := &LatencyHist{}
+	for i := 0; i < 5000; i++ {
+		v := (i * i) % 1023
+		sh.Observe(int64(v))
+		lh.Observe(v)
+	}
+	sh.Observe(-5) // negative clamps to 0
+	lh.Observe(0)
+	snap := sh.Snapshot()
+	if snap.Count() != lh.Count() || snap.Mean() != lh.Mean() || snap.Max() != lh.Max() {
+		t.Fatalf("snapshot (%d, %v, %d) != direct (%d, %v, %d)",
+			snap.Count(), snap.Mean(), snap.Max(), lh.Count(), lh.Mean(), lh.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if a, b := snap.Quantile(q), lh.Quantile(q); a != b {
+			t.Fatalf("q%.2f: striped %v != direct %v", q, a, b)
+		}
+	}
+}
+
+// TestRegistryIdentityAndNames checks create-on-first-use semantics: the
+// same name always returns the same metric object, and Names covers all
+// three kinds sorted.
+func TestRegistryIdentityAndNames(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("c") != reg.Counter("c") {
+		t.Fatal("counter identity broken")
+	}
+	if reg.Gauge("b") != reg.Gauge("b") {
+		t.Fatal("gauge identity broken")
+	}
+	if reg.Hist("a") != reg.Hist("a") {
+		t.Fatal("hist identity broken")
+	}
+	names := reg.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Names = %v, want [a b c]", names)
+	}
+
+	reg.Counter("c").Add(7)
+	reg.Gauge("b").Set(-3)
+	reg.Hist("a").Observe(4)
+	snap := reg.Snapshot()
+	if snap["c"] != int64(7) || snap["b"] != int64(-3) {
+		t.Fatalf("snapshot values wrong: %v", snap)
+	}
+	hs, ok := snap["a"].(map[string]any)
+	if !ok || hs["count"] != int64(1) || hs["max"] != 4 {
+		t.Fatalf("hist snapshot wrong: %#v", snap["a"])
+	}
+}
+
+// TestRegistryPublishExpvar checks that publication is idempotent — expvar
+// panics on duplicate names, so re-publishing (same or different registry)
+// must be a no-op instead of a crash.
+func TestRegistryPublishExpvar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(2)
+	reg.PublishExpvar("obs_test_registry")
+	reg.PublishExpvar("obs_test_registry")           // same registry again
+	NewRegistry().PublishExpvar("obs_test_registry") // different registry, same name
+}
+
+// TestManifestJSON pins the manifest's JSON shape: stable keys, omitted
+// empties, router block present when set.
+func TestManifestJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("delivered").Add(12)
+	m := Manifest{
+		Run:     "sym-HSN(2;Q3) (implicit)",
+		Config:  map[string]any{"rate": 0.01},
+		Seed:    42,
+		Stats:   struct{ Injected int }{12},
+		Router:  &RouterStats{CacheHits: 9, CacheMisses: 3},
+		Metrics: reg.Snapshot(),
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"run", "config", "seed", "stats", "router", "metrics"} {
+		if _, ok := back[key]; !ok {
+			t.Fatalf("manifest missing %q:\n%s", key, buf.String())
+		}
+	}
+	if _, ok := back["percentiles"]; ok {
+		t.Fatalf("empty percentiles not omitted:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "\n  ") {
+		t.Fatal("manifest should be indented")
+	}
+}

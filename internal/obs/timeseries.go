@@ -5,6 +5,11 @@
 // transmission starts, so summing the exported busy columns over all windows
 // exactly reproduces the total link occupancy of the run (no truncation at
 // window boundaries) — the invariant the consistency tests rely on.
+//
+// Link state is allocated lazily on first Enqueue/Hop, so the collector
+// holds memory proportional to the links that actually carried traffic, not
+// the size of the topology — it attaches to a 25M-node implicit run as
+// readily as to a 64-node materialized one.
 package obs
 
 import (
@@ -12,27 +17,23 @@ import (
 	"fmt"
 	"io"
 	"sort"
-
-	"repro/internal/graph"
-	"repro/internal/metrics"
 )
 
-// TimeSeries samples per-link (and, with a partition, per-module) load
+// TimeSeries samples per-link (and, with a module map, per-module) load
 // every Every cycles. Create with NewTimeSeries, attach as the run's Probe,
 // then Flush and export.
 type TimeSeries struct {
 	NopProbe
-	every int
-	part  *metrics.Partition
+	every    int
+	moduleOf func(int64) int64 // nil disables the module view
 
-	src, dst []int32       // per link index
-	off      []bool        // off-module link?
-	idx      map[int64]int // (u<<32 | v) -> link index
-	qlen     []int         // current queue depth
-	winBusy  []int64       // busy cycles accumulated this window
-	busy     []int64       // total busy cycles
-	hops     []int64       // total transmissions
-	moduleOf []int32       // nil without a partition
+	src, dst []int64          // per link index
+	off      []bool           // off-module link?
+	idx      map[[2]int64]int // (u, v) -> link index
+	qlen     []int            // current queue depth
+	winBusy  []int64          // busy cycles accumulated this window
+	busy     []int64          // total busy cycles
+	hops     []int64          // total transmissions
 
 	lastTick   int
 	lastSample int
@@ -51,51 +52,49 @@ type linkRow struct {
 
 type moduleRow struct {
 	cycle, width int
-	module       int32
+	module       int64
 	qlen         int // packets queued on off-module links out of the module
 	busy         int64
 }
 
 // LinkLoad summarizes one directed link over the whole run.
 type LinkLoad struct {
-	U, V      int32
+	U, V      int64
 	OffModule bool
 	Hops      int64   // transmissions carried
 	Busy      int64   // cycles the link was occupied
 	Util      float64 // Busy / observed cycles
 }
 
-// NewTimeSeries builds a collector for graph g sampling every `every`
-// cycles (values < 1 are clamped to 1). part may be nil; with a partition
-// the collector also tracks per-module off-module occupancy and flags
-// off-module links in exports.
-func NewTimeSeries(g *graph.Graph, part *metrics.Partition, every int) *TimeSeries {
+// NewTimeSeries builds a collector sampling every `every` cycles (values
+// < 1 are clamped to 1). moduleOf maps a node id to its module id and may
+// be nil; with it the collector also tracks per-module off-module occupancy
+// and flags off-module links in exports. For a materialized run with a
+// metrics.Partition pass func(u int64) int64 { return int64(part.Of[u]) };
+// for an implicit topo.Modular topology pass its Module method.
+func NewTimeSeries(moduleOf func(int64) int64, every int) *TimeSeries {
 	if every < 1 {
 		every = 1
 	}
-	ts := &TimeSeries{every: every, part: part, idx: map[int64]int{}}
-	if part != nil {
-		ts.moduleOf = part.Of
-	}
-	for u := 0; u < g.N(); u++ {
-		for _, v := range g.Neighbors(int32(u)) {
-			ts.idx[int64(u)<<32|int64(v)] = len(ts.src)
-			ts.src = append(ts.src, int32(u))
-			ts.dst = append(ts.dst, v)
-			ts.off = append(ts.off, part != nil && part.Of[u] != part.Of[v])
-		}
-	}
-	m := len(ts.src)
-	ts.qlen = make([]int, m)
-	ts.winBusy = make([]int64, m)
-	ts.busy = make([]int64, m)
-	ts.hops = make([]int64, m)
-	return ts
+	return &TimeSeries{every: every, moduleOf: moduleOf, idx: map[[2]int64]int{}}
 }
 
-func (ts *TimeSeries) link(u, v int32) (int, bool) {
-	i, ok := ts.idx[int64(u)<<32|int64(v)]
-	return i, ok
+// link returns the state index of directed link u->v, allocating it on
+// first sight.
+func (ts *TimeSeries) link(u, v int64) int {
+	if i, ok := ts.idx[[2]int64{u, v}]; ok {
+		return i
+	}
+	i := len(ts.src)
+	ts.idx[[2]int64{u, v}] = i
+	ts.src = append(ts.src, u)
+	ts.dst = append(ts.dst, v)
+	ts.off = append(ts.off, ts.moduleOf != nil && ts.moduleOf(u) != ts.moduleOf(v))
+	ts.qlen = append(ts.qlen, 0)
+	ts.winBusy = append(ts.winBusy, 0)
+	ts.busy = append(ts.busy, 0)
+	ts.hops = append(ts.hops, 0)
+	return i
 }
 
 // Tick snapshots a window whenever the sample period elapses (Probe hook).
@@ -107,20 +106,17 @@ func (ts *TimeSeries) Tick(cycle int) {
 }
 
 // Enqueue tracks queue growth (Probe hook).
-func (ts *TimeSeries) Enqueue(_ int, _ int64, at, next int32, qlen int) {
-	if i, ok := ts.link(at, next); ok {
-		ts.qlen[i] = qlen
-	}
+func (ts *TimeSeries) Enqueue(_ int, _ int64, at, next int64, qlen int) {
+	ts.qlen[ts.link(at, next)] = qlen
 }
 
 // Hop tracks transmissions and link occupancy (Probe hook).
-func (ts *TimeSeries) Hop(_ int, _ int64, from, to int32, occupy, qlen int) {
-	if i, ok := ts.link(from, to); ok {
-		ts.qlen[i] = qlen
-		ts.winBusy[i] += int64(occupy)
-		ts.busy[i] += int64(occupy)
-		ts.hops[i]++
-	}
+func (ts *TimeSeries) Hop(_ int, _ int64, from, to int64, occupy, qlen int) {
+	i := ts.link(from, to)
+	ts.qlen[i] = qlen
+	ts.winBusy[i] += int64(occupy)
+	ts.busy[i] += int64(occupy)
+	ts.hops[i]++
 }
 
 func (ts *TimeSeries) snapshot(cycle int) {
@@ -128,11 +124,11 @@ func (ts *TimeSeries) snapshot(cycle int) {
 	if width <= 0 {
 		return
 	}
-	var modQ map[int32]int
-	var modBusy map[int32]int64
+	var modQ map[int64]int
+	var modBusy map[int64]int64
 	if ts.moduleOf != nil {
-		modQ = map[int32]int{}
-		modBusy = map[int32]int64{}
+		modQ = map[int64]int{}
+		modBusy = map[int64]int64{}
 	}
 	for i := range ts.src {
 		if ts.qlen[i] != 0 || ts.winBusy[i] != 0 {
@@ -140,18 +136,23 @@ func (ts *TimeSeries) snapshot(cycle int) {
 				link: i, qlen: ts.qlen[i], busy: ts.winBusy[i]})
 		}
 		if ts.off[i] && ts.moduleOf != nil {
-			m := ts.moduleOf[ts.src[i]]
+			m := ts.moduleOf(ts.src[i])
 			modQ[m] += ts.qlen[i]
 			modBusy[m] += ts.winBusy[i]
 		}
 		ts.winBusy[i] = 0
 	}
-	if ts.moduleOf != nil && ts.part != nil {
-		for m := int32(0); int(m) < ts.part.K; m++ {
+	if ts.moduleOf != nil {
+		mods := make([]int64, 0, len(modQ))
+		for m := range modQ {
 			if modQ[m] != 0 || modBusy[m] != 0 {
-				ts.moduleRows = append(ts.moduleRows, moduleRow{cycle: cycle,
-					width: width, module: m, qlen: modQ[m], busy: modBusy[m]})
+				mods = append(mods, m)
 			}
+		}
+		sort.Slice(mods, func(a, b int) bool { return mods[a] < mods[b] })
+		for _, m := range mods {
+			ts.moduleRows = append(ts.moduleRows, moduleRow{cycle: cycle,
+				width: width, module: m, qlen: modQ[m], busy: modBusy[m]})
 		}
 	}
 	ts.lastSample = cycle
@@ -172,6 +173,11 @@ func (ts *TimeSeries) Flush() {
 // Tick), the denominator of the overall utilizations.
 func (ts *TimeSeries) ObservedCycles() int { return ts.lastTick + 1 }
 
+// ActiveLinks returns how many distinct directed links carried or queued at
+// least one packet — the collector's memory footprint is proportional to
+// this, not to the topology size.
+func (ts *TimeSeries) ActiveLinks() int { return len(ts.src) }
+
 // TotalBusy returns the summed busy cycles over all links, which for a
 // period-1 single-flit run equals the total number of hops taken by all
 // packets (measured or not).
@@ -183,9 +189,9 @@ func (ts *TimeSeries) TotalBusy() int64 {
 	return sum
 }
 
-// TopLinks returns the n busiest directed links (by total busy cycles),
-// hottest first — the "where does queueing happen" summary. n <= 0 or n
-// larger than the link count returns all links.
+// TopLinks returns the n busiest active directed links (by total busy
+// cycles), hottest first — the "where does queueing happen" summary. n <= 0
+// or n larger than the active-link count returns all of them.
 func (ts *TimeSeries) TopLinks(n int) []LinkLoad {
 	order := make([]int, len(ts.src))
 	for i := range order {
@@ -195,7 +201,10 @@ func (ts *TimeSeries) TopLinks(n int) []LinkLoad {
 		if ts.busy[order[a]] != ts.busy[order[b]] {
 			return ts.busy[order[a]] > ts.busy[order[b]]
 		}
-		return order[a] < order[b]
+		if ts.src[order[a]] != ts.src[order[b]] {
+			return ts.src[order[a]] < ts.src[order[b]]
+		}
+		return ts.dst[order[a]] < ts.dst[order[b]]
 	})
 	if n <= 0 || n > len(order) {
 		n = len(order)
@@ -237,7 +246,7 @@ func (ts *TimeSeries) WriteCSV(w io.Writer) error {
 
 // WriteModulesCSV exports the per-module off-module occupancy series: for
 // every window and module, the total queue depth and busy cycles of the
-// module's outgoing off-module links. Requires a partition; without one it
+// module's outgoing off-module links. Requires a module map; without one it
 // writes only the header.
 func (ts *TimeSeries) WriteModulesCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "cycle,width,module,offqueue,offbusy,offutil"); err != nil {

@@ -55,89 +55,89 @@ func (t *Trace) sampled(id int64) bool {
 func (t *Trace) Len() int { return len(t.events) }
 
 // Inject opens the packet's async track (Probe hook).
-func (t *Trace) Inject(cycle int, id int64, src, dst int32, measured bool) {
+func (t *Trace) Inject(cycle int, id int64, src, dst int64, measured bool) {
 	if !t.sampled(id) {
 		return
 	}
 	t.events = append(t.events, traceEvent{
 		Name: fmt.Sprintf("pkt %d", id), Cat: "packet", Ph: "b",
-		Ts: int64(cycle), Pid: tracePidPackets, Tid: int64(src), ID: id,
+		Ts: int64(cycle), Pid: tracePidPackets, Tid: src, ID: id,
 		Args: map[string]any{"src": src, "dst": dst, "measured": measured},
 	})
 }
 
 // Enqueue marks the packet joining a link FIFO (Probe hook).
-func (t *Trace) Enqueue(cycle int, id int64, at, next int32, qlen int) {
+func (t *Trace) Enqueue(cycle int, id int64, at, next int64, qlen int) {
 	if !t.sampled(id) {
 		return
 	}
 	t.events = append(t.events, traceEvent{
 		Name: fmt.Sprintf("pkt %d", id), Cat: "packet", Ph: "n",
-		Ts: int64(cycle), Pid: tracePidPackets, Tid: int64(at), ID: id,
+		Ts: int64(cycle), Pid: tracePidPackets, Tid: at, ID: id,
 		Args: map[string]any{"event": "enqueue", "at": at, "next": next, "queue": qlen},
 	})
 }
 
 // Hop records the link transmission as a slice on the sender's row
 // (Probe hook).
-func (t *Trace) Hop(cycle int, id int64, from, to int32, occupy, _ int) {
+func (t *Trace) Hop(cycle int, id int64, from, to int64, occupy, _ int) {
 	if !t.sampled(id) {
 		return
 	}
 	t.events = append(t.events, traceEvent{
 		Name: fmt.Sprintf("%d->%d", from, to), Cat: "link", Ph: "X",
-		Ts: int64(cycle), Dur: int64(occupy), Pid: tracePidPackets, Tid: int64(from),
+		Ts: int64(cycle), Dur: int64(occupy), Pid: tracePidPackets, Tid: from,
 		Args: map[string]any{"pkt": id},
 	})
 }
 
 // Deliver closes the packet's async track (Probe hook).
-func (t *Trace) Deliver(cycle int, id int64, node int32, latency int, measured bool) {
+func (t *Trace) Deliver(cycle int, id int64, node int64, latency int, measured bool) {
 	if !t.sampled(id) {
 		return
 	}
 	t.events = append(t.events, traceEvent{
 		Name: fmt.Sprintf("pkt %d", id), Cat: "packet", Ph: "e",
-		Ts: int64(cycle), Pid: tracePidPackets, Tid: int64(node), ID: id,
+		Ts: int64(cycle), Pid: tracePidPackets, Tid: node, ID: id,
 		Args: map[string]any{"latency": latency, "measured": measured},
 	})
 }
 
 // Drop records copy losses as instants and closes the track when the whole
 // flow is abandoned (Probe hook).
-func (t *Trace) Drop(cycle int, id int64, at int32, reason DropReason) {
+func (t *Trace) Drop(cycle int, id int64, at int64, reason DropReason) {
 	if !t.sampled(id) {
 		return
 	}
 	if reason == DropAbandoned {
 		t.events = append(t.events, traceEvent{
 			Name: fmt.Sprintf("pkt %d", id), Cat: "packet", Ph: "e",
-			Ts: int64(cycle), Pid: tracePidPackets, Tid: int64(at), ID: id,
+			Ts: int64(cycle), Pid: tracePidPackets, Tid: at, ID: id,
 			Args: map[string]any{"dropped": reason.String()},
 		})
 		return
 	}
 	t.events = append(t.events, traceEvent{
 		Name: fmt.Sprintf("pkt %d", id), Cat: "packet", Ph: "n",
-		Ts: int64(cycle), Pid: tracePidPackets, Tid: int64(at), ID: id,
+		Ts: int64(cycle), Pid: tracePidPackets, Tid: at, ID: id,
 		Args: map[string]any{"event": "drop", "reason": reason.String(), "at": at},
 	})
 }
 
 // Retransmit marks a source-side retry on the packet's track (Probe hook).
-func (t *Trace) Retransmit(cycle int, id int64, src int32, attempt int) {
+func (t *Trace) Retransmit(cycle int, id int64, src int64, attempt int) {
 	if !t.sampled(id) {
 		return
 	}
 	t.events = append(t.events, traceEvent{
 		Name: fmt.Sprintf("pkt %d", id), Cat: "packet", Ph: "n",
-		Ts: int64(cycle), Pid: tracePidPackets, Tid: int64(src), ID: id,
+		Ts: int64(cycle), Pid: tracePidPackets, Tid: src, ID: id,
 		Args: map[string]any{"event": "retransmit", "attempt": attempt},
 	})
 }
 
 // Fault records topology changes on the fault-timeline process (Probe hook).
-func (t *Trace) Fault(cycle int, u, v int32, node, down bool) {
+func (t *Trace) Fault(cycle int, u, v int64, node, down bool) {
 	what := "link"
 	target := fmt.Sprintf("%d-%d", u, v)
 	if node {
@@ -155,7 +155,7 @@ func (t *Trace) Fault(cycle int, u, v int32, node, down bool) {
 }
 
 // Reroute records routing-table rebuilds on the fault timeline (Probe hook).
-func (t *Trace) Reroute(cycle int, dst int32, lag int) {
+func (t *Trace) Reroute(cycle int, dst int64, lag int) {
 	t.events = append(t.events, traceEvent{
 		Name: fmt.Sprintf("reroute dst %d", dst), Cat: "reroute",
 		Ph: "i", Scope: "t", Ts: int64(cycle), Pid: tracePidFaults, Tid: 1,

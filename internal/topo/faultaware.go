@@ -2,7 +2,18 @@ package topo
 
 import (
 	"fmt"
+	"math/bits"
+
+	"repro/internal/obs"
 )
+
+// RouterStats is the router-observability snapshot exposed by Algebraic and
+// FaultAware: suffix-cache hits/misses/evictions/occupancy, fault-epoch
+// purges, the conjugate vs. TTL-local reroute split, and the detour-depth
+// histogram. It is an alias of obs.RouterStats (defined in the
+// dependency-free obs leaf so netsim and tooling can consume it without an
+// import cycle).
+type RouterStats = obs.RouterStats
 
 // FaultAware wraps a PathRouter with algebraic fault tolerance: routes are
 // derived exactly as before, but every route is verified against a FaultSet
@@ -53,9 +64,14 @@ type FaultAware struct {
 	suffix    map[[2]int64]suffixEntry
 	seenEpoch uint64
 
-	// counters (see RerouteCounts)
+	// counters (see RerouteCounts and RouterStats)
 	reroutes   uint64
 	detourHops uint64
+
+	hits, misses, evicted, clears uint64
+	epochPurges                   uint64
+	conjugate, localDetour        uint64
+	detourDepth                   [8]uint64
 
 	nbrBuf  []int64 // neighbor scratch for candidate generation
 	nbrBuf2 []int64 // second-level scratch (two-hop starts, arrive-via)
@@ -95,10 +111,35 @@ func (r *FaultAware) RerouteCounts() (reroutes, detourHops uint64) {
 	return r.reroutes, r.detourHops
 }
 
+// RouterStats returns the cumulative routing telemetry of this router:
+// suffix-cache behavior (hits, misses, evicted entries from safety-valve
+// clears and fault-epoch purges — each evicted entry is a forced mid-flight
+// re-source), how often the cache was invalidated by FaultSet changes
+// (EpochPurges), and the fault-repair split — reroutes resolved purely by
+// algebraic conjugate candidates vs. ones that needed the TTL-local detour
+// walk, with the per-repair exploratory-hop histogram in DetourDepth.
+func (r *FaultAware) RouterStats() RouterStats {
+	return RouterStats{
+		CacheHits:           r.hits,
+		CacheMisses:         r.misses,
+		CacheEvicted:        r.evicted,
+		CacheClears:         r.clears,
+		CacheOccupancy:      len(r.suffix),
+		EpochPurges:         r.epochPurges,
+		Reroutes:            r.reroutes,
+		ConjugateReroutes:   r.conjugate,
+		LocalDetourReroutes: r.localDetour,
+		DetourHops:          r.detourHops,
+		DetourDepth:         r.detourDepth,
+	}
+}
+
 // checkEpoch purges the suffix cache when the fault set has changed since it
 // was last verified.
 func (r *FaultAware) checkEpoch() {
 	if e := r.fs.Epoch(); e != r.seenEpoch {
+		r.epochPurges++
+		r.evicted += uint64(len(r.suffix))
 		r.suffix = map[[2]int64]suffixEntry{}
 		r.seenEpoch = e
 	}
@@ -122,6 +163,7 @@ func (r *FaultAware) NextHopFlagged(cur, dst int64) (int64, bool, error) {
 	r.checkEpoch()
 	key := [2]int64{cur, dst}
 	if ent, ok := r.suffix[key]; ok {
+		r.hits++
 		delete(r.suffix, key)
 		nxt := ent.tail[0]
 		if len(ent.tail) > 1 {
@@ -129,6 +171,7 @@ func (r *FaultAware) NextHopFlagged(cur, dst int64) (int64, bool, error) {
 		}
 		return nxt, ent.detoured, nil
 	}
+	r.misses++
 	p, detoured, err := r.routeAvoiding(cur, dst)
 	if err != nil {
 		return 0, false, err
@@ -137,6 +180,8 @@ func (r *FaultAware) NextHopFlagged(cur, dst int64) (int64, bool, error) {
 		return 0, false, fmt.Errorf("topo: route from %d to %d is empty", cur, dst)
 	}
 	if len(r.suffix) >= maxFaultSuffixEntries {
+		r.evicted += uint64(len(r.suffix))
+		r.clears++
 		r.suffix = map[[2]int64]suffixEntry{} // drop orphans; packets re-source
 	}
 	nxt := p[1]
@@ -184,9 +229,24 @@ func (r *FaultAware) routeAvoiding(cur, dst int64) (route []int64, detoured bool
 	r.reroutes++
 	// Keep the live prefix p[0..j] and re-derive the suffix from p[j].
 	prefix := append([]int64(nil), p[:j+1]...)
+	hopsBefore := r.detourHops
 	tail, err := r.detourFrom(p[j], dst, r.MaxDetourTTL)
 	if err != nil {
 		return nil, false, fmt.Errorf("topo: no fault-free route from %d to %d: %w", cur, dst, err)
+	}
+	// Classify the repair by how many exploratory hops it spent: zero means
+	// a conjugate candidate answered algebraically, anything else fell back
+	// to the TTL-local walk. The depth histogram buckets by bit length.
+	if spent := r.detourHops - hopsBefore; spent == 0 {
+		r.conjugate++
+		r.detourDepth[0]++
+	} else {
+		r.localDetour++
+		b := bits.Len64(spent)
+		if b >= len(r.detourDepth) {
+			b = len(r.detourDepth) - 1
+		}
+		r.detourDepth[b]++
 	}
 	return append(prefix, tail[1:]...), true, nil
 }

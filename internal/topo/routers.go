@@ -81,6 +81,9 @@ type Algebraic struct {
 	// maxSuffixEntries as a safety valve (affected packets re-source from
 	// their current position).
 	suffix map[[2]int64][]int64
+
+	// cache telemetry (see RouterStats)
+	hits, misses, evicted, clears uint64
 }
 
 // maxSuffixEntries bounds the Algebraic source-route cache; beyond it the
@@ -126,6 +129,7 @@ func (a *Algebraic) NextHop(cur, dst int64) (int64, error) {
 	}
 	key := [2]int64{cur, dst}
 	if suf, ok := a.suffix[key]; ok {
+		a.hits++
 		delete(a.suffix, key)
 		nxt := suf[0]
 		if len(suf) > 1 {
@@ -133,6 +137,7 @@ func (a *Algebraic) NextHop(cur, dst int64) (int64, error) {
 		}
 		return nxt, nil
 	}
+	a.misses++
 	p, err := a.Path(cur, dst)
 	if err != nil {
 		return 0, err
@@ -141,6 +146,8 @@ func (a *Algebraic) NextHop(cur, dst int64) (int64, error) {
 		return 0, fmt.Errorf("topo: route from %d to %d is empty", cur, dst)
 	}
 	if len(a.suffix) >= maxSuffixEntries {
+		a.evicted += uint64(len(a.suffix))
+		a.clears++
 		a.suffix = map[[2]int64][]int64{} // drop orphans; packets re-source
 	}
 	nxt := p[1]
@@ -148,6 +155,21 @@ func (a *Algebraic) NextHop(cur, dst int64) (int64, error) {
 		a.suffix[[2]int64{nxt, dst}] = p[2:]
 	}
 	return nxt, nil
+}
+
+// RouterStats returns the cumulative suffix-cache telemetry of this router:
+// hits/misses of the in-flight source-route cache, entries orphaned by
+// safety-valve clears (each a forced mid-flight re-source), the clear count,
+// and the current cache occupancy. Simulators snapshot it before and after a
+// run and report the Delta.
+func (a *Algebraic) RouterStats() RouterStats {
+	return RouterStats{
+		CacheHits:      a.hits,
+		CacheMisses:    a.misses,
+		CacheEvicted:   a.evicted,
+		CacheClears:    a.clears,
+		CacheOccupancy: len(a.suffix),
+	}
 }
 
 // Path returns the full algebraic route as node ids.
