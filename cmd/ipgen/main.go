@@ -17,10 +17,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
 
+	"repro/internal/benchkit"
 	"repro/internal/bisect"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/metrics"
 	"repro/internal/networks"
+	"repro/internal/obs"
 	"repro/internal/superip"
 	"repro/internal/topo"
 )
@@ -56,6 +59,8 @@ func main() {
 		impl    = flag.Bool("implicit", false, "super-IP families: skip the build entirely and report analytic plus sampled-route statistics from the implicit topology")
 		pairs   = flag.Int("pairs", 2000, "sampled (src,dst) pairs for -implicit route statistics")
 		seed    = flag.Int64("seed", 1, "sampling seed for -implicit")
+		prog    = flag.Bool("progress", false, "super-IP families: print one build-instrumentation line per BFS level to stderr (frontier, new nodes, per-phase wall time, arena bytes, shard load)")
+		manif   = flag.String("manifest", "", "super-IP families: write a JSON build manifest (config, env metadata, per-level phase metrics) to this file; \"-\" writes to stdout")
 	)
 	analyze = func(g *graph.Graph) {
 		if *kappa {
@@ -63,28 +68,34 @@ func main() {
 			exitIf(err)
 			lam, err := faults.EdgeConnectivity(g)
 			exitIf(err)
-			fmt.Printf("vertex-connectivity=%d edge-connectivity=%d min-degree=%d\n", k, lam, g.MinDegree())
+			fmt.Fprintf(console, "vertex-connectivity=%d edge-connectivity=%d min-degree=%d\n", k, lam, g.MinDegree())
 		}
 		if *bisectN {
 			if g.N() <= 24 {
 				w, err := bisect.Exact(g)
 				exitIf(err)
-				fmt.Printf("bisection=%d (exact) layout-area-LB=%d\n", w, bisect.AreaLowerBound(w))
+				fmt.Fprintf(console, "bisection=%d (exact) layout-area-LB=%d\n", w, bisect.AreaLowerBound(w))
 			} else {
 				w, err := bisect.KernighanLin(g, 8, 1)
 				exitIf(err)
-				fmt.Printf("bisection<=%d (Kernighan-Lin) layout-area-LB<=%d\n", w, bisect.AreaLowerBound(w))
+				fmt.Fprintf(console, "bisection<=%d (Kernighan-Lin) layout-area-LB<=%d\n", w, bisect.AreaLowerBound(w))
 			}
 		}
 		if *lay {
 			p, err := layout.RecursiveBisection(g, 1)
 			exitIf(err)
 			res := layout.Measure(g, p)
-			fmt.Printf("layout: grid=%dx%d total-wire=%d max-wire=%d avg-wire=%.2f\n",
+			fmt.Fprintf(console, "layout: grid=%dx%d total-wire=%d max-wire=%d avg-wire=%.2f\n",
 				p.Cols, p.Rows, res.TotalWirelength, res.MaxWirelength, res.AvgWirelength)
 		}
 	}
 	flag.Parse()
+
+	if *manif == "-" {
+		// The build manifest owns stdout; keep it machine-parseable by
+		// moving the human-readable stats lines to stderr.
+		console = os.Stderr
+	}
 
 	// The parallel enumerator is byte-identical to the sequential one, so the
 	// flags only choose the code path (and its speed), never the output.
@@ -94,6 +105,9 @@ func main() {
 		core.DefaultWorkers = *workers
 	}
 	buildOnly = *bonly
+	if *prog || *manif != "" {
+		buildRec = newBuildRecorder(*prog, *manif)
+	}
 
 	switch *netName {
 	case "HSN", "ringCN", "CN", "dirCN", "SFN", "RCC":
@@ -122,6 +136,81 @@ func main() {
 
 // analyze optionally runs the -kappa / -bisect analyses after report.
 var analyze func(*graph.Graph)
+
+// buildRec, when non-nil, receives per-level instrumentation from super-IP
+// builds (-progress / -manifest flags).
+var buildRec *buildRecorder
+
+// buildRecorder bridges core.LevelStats into an obs.Registry (for the build
+// manifest) and optionally prints one progress line per BFS level, ending
+// the "builder runs blind for ten seconds" regime on large instances.
+type buildRecorder struct {
+	reg          *obs.Registry
+	print        bool
+	manifestPath string
+	start        time.Time
+}
+
+func newBuildRecorder(print bool, manifestPath string) *buildRecorder {
+	return &buildRecorder{reg: obs.NewRegistry(), print: print, manifestPath: manifestPath}
+}
+
+// observe implements the core.BuildOptions.Observe callback: cumulative
+// phase times and expansion counters become registry counters, occupancy
+// figures become gauges, and -progress renders the level as one line.
+func (r *buildRecorder) observe(ls core.LevelStats) {
+	if r.start.IsZero() {
+		r.start = time.Now()
+	}
+	r.reg.Gauge("build.levels").Set(int64(ls.Level + 1))
+	r.reg.Gauge("build.nodes").Set(int64(ls.TotalNodes))
+	r.reg.Gauge("build.frontier").Set(int64(ls.FrontierNodes))
+	if peak := r.reg.Gauge("build.frontier_peak"); int64(ls.FrontierNodes) > peak.Value() {
+		peak.Set(int64(ls.FrontierNodes))
+	}
+	r.reg.Counter("build.new_nodes").Add(int64(ls.NewNodes))
+	r.reg.Counter("build.arc_slots").Add(int64(ls.ArcSlots))
+	r.reg.Counter("build.expand_ns").Add(ls.Expand.Nanoseconds())
+	r.reg.Counter("build.dedup_ns").Add(ls.Dedup.Nanoseconds())
+	r.reg.Counter("build.assign_ns").Add(ls.Assign.Nanoseconds())
+	r.reg.Counter("build.publish_ns").Add(ls.Publish.Nanoseconds())
+	r.reg.Gauge("build.candidate_arena_bytes").Set(ls.CandidateArenaBytes)
+	r.reg.Gauge("build.intern_arena_bytes").Set(ls.InternArenaBytes)
+	r.reg.Gauge("build.shards").Set(int64(ls.Shards))
+	r.reg.Gauge("build.max_shard_load").Set(int64(ls.MaxShardLoad))
+	r.reg.Hist("build.level_new_nodes").Observe(int64(ls.NewNodes))
+	if r.print {
+		fmt.Fprintf(os.Stderr,
+			"level %-3d frontier %-9d new %-9d total %-9d | expand %-9s dedup %-9s assign %-9s publish %-9s | arena %s intern %s maxload %d/%d shards\n",
+			ls.Level, ls.FrontierNodes, ls.NewNodes, ls.TotalNodes,
+			roundDur(ls.Expand), roundDur(ls.Dedup), roundDur(ls.Assign), roundDur(ls.Publish),
+			fmtBytes(ls.CandidateArenaBytes), fmtBytes(ls.InternArenaBytes),
+			ls.MaxShardLoad, ls.Shards)
+	}
+}
+
+func roundDur(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+// finish writes the build manifest (config, env metadata, accumulated
+// registry metrics) when -manifest asked for one.
+func (r *buildRecorder) finish(name string, config map[string]any) {
+	if r.manifestPath == "" {
+		return
+	}
+	env := benchkit.CollectEnv()
+	m := obs.Manifest{Run: name, Config: config, Env: &env, Metrics: r.reg.Snapshot()}
+	if r.manifestPath == "-" {
+		exitIf(m.WriteJSON(os.Stdout))
+		return
+	}
+	f, err := os.Create(r.manifestPath)
+	exitIf(err)
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		exitIf(err)
+	}
+	exitIf(f.Close())
+}
 
 // buildOnly suppresses the all-pairs statistics in report: BFS from every
 // node is infeasible on million-node builds where construction itself takes
@@ -226,15 +315,15 @@ func runImplicit(family string, l int, nucleus string, sym bool, pairs int, seed
 	exitIf(err)
 	r, err := topo.NewAlgebraic(net.Super())
 	exitIf(err)
-	fmt.Printf("%s: analytic N=%d degree=%d diameter=%d I-diameter=%d modules=%d\n",
+	fmt.Fprintf(console, "%s: analytic N=%d degree=%d diameter=%d I-diameter=%d modules=%d\n",
 		net.Name(), imp.N(), net.Degree(), net.Diameter(), net.IDiameter(), imp.Modules())
 	start := time.Now()
 	s, err := metrics.SampleRoutes(imp, r, pairs, seed)
 	exitIf(err)
 	elapsed := time.Since(start)
-	fmt.Printf("implicit: pairs=%d avg-hops=%.3f max-hops=%d (bound %d) avg-off-module=%.3f max-off-module=%d (bound %d)\n",
+	fmt.Fprintf(console, "implicit: pairs=%d avg-hops=%.3f max-hops=%d (bound %d) avg-off-module=%.3f max-off-module=%d (bound %d)\n",
 		s.Pairs, s.AvgHops, s.MaxHops, net.Diameter(), s.AvgOffModule, s.MaxOffModule, net.IDiameter())
-	fmt.Printf("routed-in=%s peak-rss=%s\n", elapsed.Round(time.Millisecond), fmtBytes(peakRSSBytes()))
+	fmt.Fprintf(console, "routed-in=%s peak-rss=%s\n", elapsed.Round(time.Millisecond), fmtBytes(peakRSSBytes()))
 }
 
 // fmtBytes renders a byte count with a binary-unit suffix, "unknown" for 0.
@@ -253,20 +342,29 @@ func fmtBytes(b int64) string {
 
 func runSuperIP(family string, l int, nucleus string, sym, dot, istats bool) {
 	net := superIPNet(family, l, nucleus, sym)
-	fmt.Printf("%s: analytic N=%d degree=%d diameter=%d I-diameter=%d\n",
+	fmt.Fprintf(console, "%s: analytic N=%d degree=%d diameter=%d I-diameter=%d\n",
 		net.Name(), net.N(), net.Degree(), net.Diameter(), net.IDiameter())
+	if buildRec != nil {
+		net.Observe = buildRec.observe
+	}
 	start := time.Now()
 	g, ix, err := net.BuildWithIndex()
 	buildElapsed = time.Since(start)
 	if err != nil {
-		fmt.Printf("(not built: %v)\n", err)
+		fmt.Fprintf(console, "(not built: %v)\n", err)
 		return
+	}
+	if buildRec != nil {
+		buildRec.finish(net.Name(), map[string]any{
+			"family": family, "l": l, "nucleus": nucleus, "sym": sym,
+			"workers": core.DefaultWorkers, "build_ms": buildElapsed.Milliseconds(),
+		})
 	}
 	report(net.Name(), g, dot)
 	if istats {
 		p := metrics.NucleusPartition(ix, net.Nucleus.Nuc.M())
 		st := metrics.IStats(g, p)
-		fmt.Printf("modules=%d module-size=%d I-degree=%.3f I-diameter=%d avg-I-distance=%.3f\n",
+		fmt.Fprintf(console, "modules=%d module-size=%d I-degree=%.3f I-diameter=%d avg-I-distance=%.3f\n",
 			p.K, p.MaxClusterSize(), metrics.IDegree(g, p), st.Diameter, st.AvgDistance)
 	}
 }
@@ -289,7 +387,7 @@ func report(name string, g *graph.Graph, dot bool) {
 		return
 	}
 	if buildOnly {
-		fmt.Printf("%s: N=%d edges=%d degree=%d..%d built-in=%s peak-rss=%s\n",
+		fmt.Fprintf(console, "%s: N=%d edges=%d degree=%d..%d built-in=%s peak-rss=%s\n",
 			name, g.N(), g.NumEdges(), g.MinDegree(), g.MaxDegree(),
 			buildElapsed.Round(time.Millisecond), fmtBytes(peakRSSBytes()))
 		if analyze != nil {
@@ -298,7 +396,7 @@ func report(name string, g *graph.Graph, dot bool) {
 		return
 	}
 	st := g.Symmetrized().AllPairs()
-	fmt.Printf("%s: N=%d edges=%d degree=%d..%d diameter=%d avg-distance=%.3f connected=%v\n",
+	fmt.Fprintf(console, "%s: N=%d edges=%d degree=%d..%d diameter=%d avg-distance=%.3f connected=%v\n",
 		name, g.N(), g.NumEdges(), g.MinDegree(), g.MaxDegree(),
 		st.Diameter, st.AvgDistance, st.Connected)
 	if analyze != nil {
@@ -317,6 +415,11 @@ func sanitize(s string) string {
 	}
 	return string(out)
 }
+
+// console receives the human-readable stats output. It is stdout except
+// under -manifest -, where the manifest JSON owns stdout and the stats
+// lines move to stderr.
+var console io.Writer = os.Stdout
 
 func exitIf(err error) {
 	if err != nil {

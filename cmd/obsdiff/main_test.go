@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const fixtureBudget = "stats.AvgLatency:+10%,percentiles.p99:+15%"
+
+func fixture(name string) string { return filepath.Join("testdata", name) }
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(fixture(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestGoldenClean pins the full table output and the zero exit for two runs
+// whose samples differ only by noise.
+func TestGoldenClean(t *testing.T) {
+	code, out, _ := runCLI(t, "-budget", fixtureBudget,
+		fixture("manifest_base.json"), fixture("manifest_clean.json"))
+	if code != 0 {
+		t.Fatalf("clean comparison exited %d, want 0\noutput:\n%s", code, out)
+	}
+	if want := golden(t, "golden_clean.txt"); out != want {
+		t.Errorf("output drifted from golden_clean.txt\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestGoldenRegressed pins the violation output and the non-zero exit for a
+// seeded +32% AvgLatency regression.
+func TestGoldenRegressed(t *testing.T) {
+	code, out, _ := runCLI(t, "-budget", fixtureBudget,
+		fixture("manifest_base.json"), fixture("manifest_regressed.json"))
+	if code != 1 {
+		t.Fatalf("regressed comparison exited %d, want 1\noutput:\n%s", code, out)
+	}
+	if want := golden(t, "golden_regressed.txt"); out != want {
+		t.Errorf("output drifted from golden_regressed.txt\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	if !strings.Contains(out, "VIOLATION stats.AvgLatency") {
+		t.Errorf("violation line missing from output:\n%s", out)
+	}
+	// The regression must be flagged significant, not just over budget.
+	if !strings.Contains(out, "+32.1%") || !strings.Contains(out, "0.002 *") {
+		t.Errorf("expected significant +32.1%% delta (p=0.002 *) in table:\n%s", out)
+	}
+}
+
+// TestNoBudgetAlwaysZero: without -budget the tool reports but never fails,
+// even on the regressed pair.
+func TestNoBudgetAlwaysZero(t *testing.T) {
+	code, out, _ := runCLI(t, fixture("manifest_base.json"), fixture("manifest_regressed.json"))
+	if code != 0 {
+		t.Fatalf("budget-less comparison exited %d, want 0\noutput:\n%s", code, out)
+	}
+}
+
+// TestEnvMismatchRefusal: manifests from different machines are refused with
+// exit 2 unless -allow-env-mismatch downgrades the refusal to a warning.
+func TestEnvMismatchRefusal(t *testing.T) {
+	code, _, errOut := runCLI(t, fixture("manifest_base.json"), fixture("manifest_othermachine.json"))
+	if code != 2 {
+		t.Fatalf("cross-machine comparison exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "environment mismatch") || !strings.Contains(errOut, "cpu:") {
+		t.Errorf("refusal should name the mismatched fields, got:\n%s", errOut)
+	}
+
+	code, out, errOut := runCLI(t, "-allow-env-mismatch", "-budget", fixtureBudget,
+		fixture("manifest_base.json"), fixture("manifest_othermachine.json"))
+	if code != 0 {
+		t.Fatalf("-allow-env-mismatch comparison exited %d, want 0\nstderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "comparing anyway") {
+		t.Errorf("expected a downgrade warning on stderr, got:\n%s", errOut)
+	}
+	if !strings.Contains(out, "stats.AvgLatency") {
+		t.Errorf("table should still be printed, got:\n%s", out)
+	}
+}
+
+// TestMetricsFilter restricts the comparison to matching flattened names.
+func TestMetricsFilter(t *testing.T) {
+	code, out, _ := runCLI(t, "-metrics", `^percentiles\.`,
+		fixture("manifest_base.json"), fixture("manifest_clean.json"))
+	if code != 0 {
+		t.Fatalf("filtered comparison exited %d, want 0", code)
+	}
+	if !strings.Contains(out, "percentiles.p99") {
+		t.Errorf("filter dropped the matching metric:\n%s", out)
+	}
+	if strings.Contains(out, "stats.AvgLatency") || strings.Contains(out, "stats.Delivered") {
+		t.Errorf("filter kept non-matching metrics:\n%s", out)
+	}
+}
+
+// TestUsageErrors: wrong arity and unreadable files exit 2.
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, fixture("manifest_base.json")); code != 2 {
+		t.Errorf("one positional arg exited %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, fixture("manifest_base.json"), fixture("nope.json")); code != 2 {
+		t.Errorf("missing file exited %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-budget", "bad spec!!:", fixture("manifest_base.json"), fixture("manifest_clean.json")); code != 2 {
+		t.Errorf("bad budget spec exited %d, want 2", code)
+	}
+}
+
+// TestSingleSampleFallback: manifests without a samples array flatten their
+// headline sections into one observation each, and the gate falls back to
+// median-only comparison (which still trips on a big regression).
+func TestSingleSampleFallback(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeManifest := func(path string, avg float64) {
+		body := `{"run":"X","seed":1,"stats":{"AvgLatency":` + strconv.FormatFloat(avg, 'f', -1, 64) + `}}`
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeManifest(oldP, 10.0)
+	writeManifest(newP, 14.0)
+	code, out, _ := runCLI(t, "-budget", "stats.AvgLatency:+10%", oldP, newP)
+	if code != 1 {
+		t.Fatalf("median-only +40%% regression exited %d, want 1\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "(1 samples)") {
+		t.Errorf("expected single-sample fallback, got:\n%s", out)
+	}
+	if !strings.Contains(out, "?") {
+		t.Errorf("single-sample deltas should carry the untested '?' marker:\n%s", out)
+	}
+}

@@ -38,10 +38,15 @@
 // ceiling); -topmodules prints the hottest modules by busy cycles;
 // -trace writes Chrome trace-event JSON (open in chrome://tracing or
 // Perfetto); -toplinks prints the busiest links after each run; -progress
-// emits a live ticker to stderr; -manifest writes a machine-readable JSON
-// record per run (config, seed, stats, percentiles, router counters,
-// registry metrics); -pprof serves net/http/pprof plus the process metrics
-// registry as the expvar variable "sim" while runs execute.
+// emits a live ticker (delivered-rate and ETA) to stderr; -manifest writes a
+// machine-readable JSON record per run (config, seed, stats, percentiles,
+// router counters, registry metrics, host environment; "-" = stdout);
+// -repeat n reruns each combination with consecutive seeds and records every
+// repetition in the manifest's samples array so cmd/obsdiff can
+// significance-test two runs against each other; -live serves a streaming
+// dashboard (HTML charts at /, JSON at /snapshot, SSE at /stream, expvar at
+// /debug/vars) while the sweep executes; -pprof serves net/http/pprof plus
+// the process metrics registry as the expvar variable "sim".
 //
 // All collectors work under -implicit: probes attach to the sparse
 // simulator's hooks, and implicit runs additionally print the algebraic
@@ -62,6 +67,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -81,6 +87,7 @@ type registryProbe struct {
 	obs.NopProbe
 	reg           *obs.Registry
 	cycle         *obs.Gauge
+	queued        *obs.Gauge
 	injected      *obs.Counter
 	delivered     *obs.Counter
 	dropped       *obs.Counter
@@ -94,6 +101,7 @@ func newRegistryProbe() *registryProbe {
 	return &registryProbe{
 		reg:           reg,
 		cycle:         reg.Gauge("cycle"),
+		queued:        reg.Gauge("queued"),
 		injected:      reg.Counter("injected"),
 		delivered:     reg.Counter("delivered"),
 		dropped:       reg.Counter("dropped"),
@@ -107,12 +115,24 @@ func (p *registryProbe) Tick(cycle int) { p.cycle.Set(int64(cycle)) }
 
 func (p *registryProbe) Inject(int, int64, int64, int64, bool) { p.injected.Inc() }
 
+// Enqueue/Hop keep the queued gauge equal to the number of packets sitting
+// in link FIFOs (the same conservation discipline obs.ModuleSeries uses:
+// enqueues minus transmission starts minus queue kills).
+func (p *registryProbe) Enqueue(int, int64, int64, int64, int) { p.queued.Add(1) }
+
+func (p *registryProbe) Hop(int, int64, int64, int64, int, int) { p.queued.Add(-1) }
+
 func (p *registryProbe) Deliver(_ int, _ int64, _ int64, latency int, _ bool) {
 	p.delivered.Inc()
 	p.latency.Observe(int64(latency))
 }
 
-func (p *registryProbe) Drop(int, int64, int64, obs.DropReason) { p.dropped.Inc() }
+func (p *registryProbe) Drop(_ int, _ int64, _ int64, reason obs.DropReason) {
+	p.dropped.Inc()
+	if reason == obs.DropQueueKilled {
+		p.queued.Add(-1)
+	}
+}
 
 func (p *registryProbe) Retransmit(int, int64, int64, int) { p.retransmitted.Inc() }
 
@@ -135,7 +155,12 @@ type obsOpts struct {
 	msFile     string
 	manifest   string
 	progress   int
+	repeat     int
+	total      int // warmup+measure cycles, for the progress ETA
 	rp         *registryProbe
+	live       *obs.LiveServer
+	liveEvery  int
+	env        *benchkit.Env
 }
 
 // collectors is one run's collector set, built by obsOpts.build.
@@ -169,10 +194,13 @@ func (o obsOpts) build(moduleOf func(int64) int64) (obs.Probe, *collectors) {
 		probes = append(probes, c.tr)
 	}
 	if o.progress > 0 {
-		probes = append(probes, &obs.Progress{Every: o.progress, W: os.Stderr})
+		probes = append(probes, &obs.Progress{Every: o.progress, Total: o.total})
 	}
 	if o.rp != nil {
 		probes = append(probes, o.rp)
+	}
+	if o.live != nil {
+		probes = append(probes, o.live.Sampler(o.liveEvery))
 	}
 	return obs.Multi(probes...), c
 }
@@ -207,8 +235,11 @@ func main() {
 		topLinks   = flag.Int("toplinks", 0, "after each run, print the n busiest links")
 		topModules = flag.Int("topmodules", 0, "after each run, print the n busiest modules (busy cycles, intra/inter split)")
 		msFile     = flag.String("moduleseries", "", "write the module-aggregated load series to this file (.jsonl = JSON lines, else CSV; memory bounded by module count)")
-		manifest   = flag.String("manifest", "", "write a JSON run manifest (config, seed, stats, percentiles, router counters, registry metrics) to this file per run")
-		progress   = flag.Int("progress", 0, "print a live progress line to stderr every n cycles")
+		manifest   = flag.String("manifest", "", "write a JSON run manifest (config, seed, stats, percentiles, router counters, registry metrics, host environment) to this file per run; \"-\" writes to stdout")
+		repeat     = flag.Int("repeat", 1, "run each ratio x rate combination n times with seeds seed..seed+n-1 and record every repetition's flattened stats in the manifest's samples array (for cmd/obsdiff significance testing; requires -manifest)")
+		progress   = flag.Int("progress", 0, "print a live progress line (with delivered-rate and ETA) to stderr every n cycles")
+		liveAddr   = flag.String("live", "", "serve the live metrics dashboard on this address (e.g. localhost:8080): / (HTML charts), /snapshot (latest sample JSON, ?all=1 for the ring), /stream (SSE), /debug/vars (expvar variable \"sim\")")
+		liveEvery  = flag.Int("livesample", 200, "cycles between live dashboard samples (with -live)")
 		pprofAddr  = flag.String("pprof", "", "serve profiling endpoints on this address (e.g. localhost:6060): /debug/pprof/ (net/http/pprof: profile, heap, goroutine, ...) and /debug/vars (the process metrics registry as expvar variable \"sim\")")
 	)
 	flag.Parse()
@@ -217,16 +248,34 @@ func main() {
 		hist: *histOn, tsFile: *tsFile, tsEvery: *tsEvery,
 		traceFile: *traceFile, traceNth: *traceNth,
 		topLinks: *topLinks, topModules: *topModules, msFile: *msFile,
-		manifest: *manifest, progress: *progress,
+		manifest: *manifest, progress: *progress, repeat: *repeat,
+		total: *warmup + *cycles, liveEvery: *liveEvery,
 	}
-	if *pprofAddr != "" || *manifest != "" {
+	if o.repeat < 1 {
+		exitIf(fmt.Errorf("-repeat must be >= 1 (got %d)", o.repeat))
+	}
+	if o.manifest == "-" {
+		// The manifest owns stdout; keep it machine-parseable by moving the
+		// human-readable tables to stderr.
+		console = os.Stderr
+	}
+	if o.repeat > 1 && o.manifest == "" {
+		exitIf(fmt.Errorf("-repeat %d without -manifest would discard all but the first run; add -manifest <file> (or \"-\" for stdout)", o.repeat))
+	}
+	if *pprofAddr != "" || *manifest != "" || *liveAddr != "" {
 		// The registry costs a few atomic ops per event, so it only attaches
-		// when something consumes it: a live /debug/vars listener or the
-		// manifest's metrics section.
+		// when something consumes it: a live /debug/vars or dashboard
+		// listener, or the manifest's metrics section.
 		o.rp = newRegistryProbe()
 	}
-	if *pprofAddr != "" {
+	if *manifest != "" {
+		env := benchkit.CollectEnv()
+		o.env = &env
+	}
+	if *pprofAddr != "" || *liveAddr != "" {
 		o.rp.reg.PublishExpvar("sim")
+	}
+	if *pprofAddr != "" {
 		// Bind synchronously so an unusable address (port taken, bad
 		// syntax, privileged port) fails the run up front instead of a
 		// goroutine racing a message to stderr while the sweep silently
@@ -239,6 +288,18 @@ func main() {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "serving http://%s/debug/pprof/ (profiles) and /debug/vars (registry variable \"sim\")\n", ln.Addr())
+	}
+	if *liveAddr != "" {
+		o.live = obs.NewLiveServer(o.rp.reg, 0)
+		// Same synchronous-bind discipline as -pprof.
+		ln, err := net.Listen("tcp", *liveAddr)
+		exitIf(err)
+		go func() {
+			if err := http.Serve(ln, o.live.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "simulate: live server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "live dashboard at http://%s/ (JSON /snapshot, SSE /stream, expvar /debug/vars)\n", ln.Addr())
 	}
 
 	if *impl {
@@ -261,12 +322,15 @@ func main() {
 		ar, err := topo.NewAlgebraicWith(net.Super(), topo.NewMaterialized(g, ix))
 		exitIf(err)
 		router = ar
+		if o.live != nil {
+			o.live.RouterSource(ar.RouterStats)
+		}
 	default:
 		exitIf(fmt.Errorf("unknown -router %q (want bfs or algebraic)", *routerK))
 	}
 
 	ist := metrics.IStats(g, part)
-	fmt.Printf("%s: N=%d modules=%d I-degree=%.2f I-diameter=%d II-cost=%.2f\n",
+	fmt.Fprintf(console, "%s: N=%d modules=%d I-degree=%.2f I-diameter=%d II-cost=%.2f\n",
 		name, g.N(), part.K, metrics.IDegree(g, part), ist.Diameter,
 		metrics.IICost(metrics.IDegree(g, part), int(ist.Diameter)))
 
@@ -282,7 +346,7 @@ func main() {
 			Seed:         *seed,
 		}.Plan(g)
 		exitIf(err)
-		fmt.Printf("fault plan: %d events (mtbf %.0f, repair %d, node fraction %.2f)\n",
+		fmt.Fprintf(console, "fault plan: %d events (mtbf %.0f, repair %d, node fraction %.2f)\n",
 			plan.Len(), *mtbf, *repair, *nodeFrc)
 	}
 
@@ -291,10 +355,10 @@ func main() {
 		histCols = fmt.Sprintf(" %-8s %-8s %-8s", "p50", "p95", "p99")
 	}
 	if plan == nil {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s%s\n",
+		fmt.Fprintf(console, "%-8s %-8s %-10s %-10s %-8s %-10s %-8s%s\n",
 			"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat", histCols)
 	} else {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
+		fmt.Fprintf(console, "%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
 			"ratio", "rate", "injected", "delivered", "lost", "expired", "retx", "avg-lat", "lat-infl", "reroutes", "detours", histCols)
 	}
 	moduleOf := func(u int64) int64 { return int64(part.Of[u]) }
@@ -302,37 +366,56 @@ func main() {
 	multi := len(ratioList)*len(rateList) > 1
 	for _, ratio := range ratioList {
 		for _, rate := range rateList {
-			pb, col := o.build(moduleOf)
-			cfg := netsim.Config{
-				Graph:           g,
-				Partition:       &part,
-				OffModulePeriod: ratio,
-				InjectionRate:   rate,
-				WarmupCycles:    *warmup,
-				MeasureCycles:   *cycles,
-				Seed:            *seed,
-				Probe:           pb,
-				Router:          router,
+			// With -repeat n, repetition r reruns the combination with seed
+			// seed+r and a fresh probe set; the console row and collector
+			// exports come from repetition 0, and every repetition's
+			// flattened stats land in the manifest's samples array.
+			var samples []map[string]float64
+			var headStats any
+			var headPct map[string]float64
+			for rep := 0; rep < o.repeat; rep++ {
+				pb, col := o.build(moduleOf)
+				cfg := netsim.Config{
+					Graph:           g,
+					Partition:       &part,
+					OffModulePeriod: ratio,
+					InjectionRate:   rate,
+					WarmupCycles:    *warmup,
+					MeasureCycles:   *cycles,
+					Seed:            *seed + int64(rep),
+					Probe:           pb,
+					Router:          router,
+				}
+				if plan == nil {
+					st, err := netsim.Run(cfg)
+					exitIf(err)
+					pct := percentiles(*histOn, st.P50Latency, st.P95Latency, st.P99Latency)
+					samples = append(samples, obs.Manifest{Stats: st, Percentiles: pct}.Flatten())
+					if rep > 0 {
+						continue
+					}
+					headStats, headPct = st, pct
+					fmt.Fprintf(console, "%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
+						ratio, rate, st.Injected, st.Delivered, st.Expired,
+						st.AvgLatency, st.MaxLatency, quantileCols(*histOn, st.P50Latency, st.P95Latency, st.P99Latency))
+				} else {
+					fs, _, err := netsim.RunFaultyWithBaseline(cfg, netsim.FaultConfig{Plan: plan})
+					exitIf(err)
+					pct := percentiles(*histOn, fs.P50Latency, fs.P95Latency, fs.P99Latency)
+					samples = append(samples, obs.Manifest{Stats: fs, Percentiles: pct}.Flatten())
+					if rep > 0 {
+						continue
+					}
+					headStats, headPct = fs, pct
+					fmt.Fprintf(console, "%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9.2f %-9d %-9d%s\n",
+						ratio, rate, fs.Injected, fs.Delivered, fs.Lost, fs.Expired, fs.Retransmitted,
+						fs.AvgLatency, fs.LatencyInflation, fs.RerouteEvents, fs.MisroutedHops,
+						quantileCols(*histOn, fs.P50Latency, fs.P95Latency, fs.P99Latency))
+				}
+				col.export(o, ratio, rate, multi)
 			}
-			if plan == nil {
-				st, err := netsim.Run(cfg)
-				exitIf(err)
-				fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
-					ratio, rate, st.Injected, st.Delivered, st.Expired,
-					st.AvgLatency, st.MaxLatency, quantileCols(*histOn, st.P50Latency, st.P95Latency, st.P99Latency))
-				o.writeManifest(name, runConfig(ratio, rate, *warmup, *cycles, *nFaults), *seed, st,
-					percentiles(*histOn, st.P50Latency, st.P95Latency, st.P99Latency), nil, ratio, rate, multi)
-			} else {
-				fs, _, err := netsim.RunFaultyWithBaseline(cfg, netsim.FaultConfig{Plan: plan})
-				exitIf(err)
-				fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9.2f %-9d %-9d%s\n",
-					ratio, rate, fs.Injected, fs.Delivered, fs.Lost, fs.Expired, fs.Retransmitted,
-					fs.AvgLatency, fs.LatencyInflation, fs.RerouteEvents, fs.MisroutedHops,
-					quantileCols(*histOn, fs.P50Latency, fs.P95Latency, fs.P99Latency))
-				o.writeManifest(name, runConfig(ratio, rate, *warmup, *cycles, *nFaults), *seed, fs,
-					percentiles(*histOn, fs.P50Latency, fs.P95Latency, fs.P99Latency), nil, ratio, rate, multi)
-			}
-			col.export(o, ratio, rate, multi)
+			o.writeManifest(name, runConfig(ratio, rate, *warmup, *cycles, *nFaults), *seed,
+				headStats, headPct, nil, samples, ratio, rate, multi)
 		}
 	}
 }
@@ -362,18 +445,29 @@ func runConfig(ratio int, rate float64, warmup, cycles, faults int) map[string]a
 }
 
 // writeManifest emits the JSON run manifest when -manifest is set. router is
-// nil for runs without router telemetry (the materialized BFS path).
+// nil for runs without router telemetry (the materialized BFS path); samples
+// holds one flattened stat map per -repeat repetition (recorded when there is
+// more than one, so single-run manifests keep their historical shape). A
+// manifest path of "-" writes to stdout.
 func (o obsOpts) writeManifest(name string, cfg map[string]any, seed int64, stats any,
-	pct map[string]float64, router *obs.RouterStats, ratio int, rate float64, multi bool) {
+	pct map[string]float64, router *obs.RouterStats, samples []map[string]float64,
+	ratio int, rate float64, multi bool) {
 	if o.manifest == "" {
 		return
 	}
 	m := obs.Manifest{
 		Run: name, Config: cfg, Seed: seed, Stats: stats,
-		Percentiles: pct, Router: router,
+		Percentiles: pct, Router: router, Env: o.env,
+	}
+	if len(samples) > 1 {
+		m.Samples = samples
 	}
 	if o.rp != nil {
 		m.Metrics = o.rp.reg.Snapshot()
+	}
+	if o.manifest == "-" {
+		exitIf(m.WriteJSON(os.Stdout))
+		return
 	}
 	exitIf(writeTo(suffixed(o.manifest, ratio, rate, multi), m.WriteJSON))
 }
@@ -382,7 +476,7 @@ func (o obsOpts) writeManifest(name string, cfg map[string]any, seed int64, stat
 // sweep, filenames gain a -r<ratio>-p<rate> suffix before the extension.
 func (c *collectors) export(o obsOpts, ratio int, rate float64, multi bool) {
 	if c.lh != nil && c.lh.Count() > 0 {
-		exitIf(c.lh.WriteText(os.Stdout))
+		exitIf(c.lh.WriteText(console))
 	}
 	if c.ts != nil {
 		c.ts.Flush()
@@ -397,13 +491,13 @@ func (c *collectors) export(o obsOpts, ratio int, rate float64, multi bool) {
 			}
 		}
 		if o.topLinks > 0 {
-			fmt.Printf("top %d links by busy cycles:\n", o.topLinks)
+			fmt.Fprintf(console, "top %d links by busy cycles:\n", o.topLinks)
 			for _, l := range c.ts.TopLinks(o.topLinks) {
 				kind := "on-module "
 				if l.OffModule {
 					kind = "off-module"
 				}
-				fmt.Printf("  %4d -> %-4d %s  hops %-7d busy %-8d util %.3f\n",
+				fmt.Fprintf(console, "  %4d -> %-4d %s  hops %-7d busy %-8d util %.3f\n",
 					l.U, l.V, kind, l.Hops, l.Busy, l.Util)
 			}
 		}
@@ -419,10 +513,10 @@ func (c *collectors) export(o obsOpts, ratio int, rate float64, multi bool) {
 			}
 		}
 		if o.topModules > 0 {
-			fmt.Printf("top %d of %d active modules by busy cycles:\n",
+			fmt.Fprintf(console, "top %d of %d active modules by busy cycles:\n",
 				o.topModules, c.ms.ActiveModules())
 			for _, m := range c.ms.TopModules(o.topModules) {
-				fmt.Printf("  module %-8d busy %-8d (intra %-8d inter %-8d) hops %d/%d  in %-7d out %d\n",
+				fmt.Fprintf(console, "  module %-8d busy %-8d (intra %-8d inter %-8d) hops %d/%d  in %-7d out %d\n",
 					m.Module, m.IntraBusy+m.InterBusy, m.IntraBusy, m.InterBusy,
 					m.IntraHops, m.InterHops, m.Injected, m.Delivered)
 			}
@@ -544,7 +638,7 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 	exitIf(err)
 	r, err := topo.NewAlgebraic(net.Super())
 	exitIf(err)
-	fmt.Printf("%s (implicit): N=%d modules=%d degree=%d diameter=%d I-diameter=%d\n",
+	fmt.Fprintf(console, "%s (implicit): N=%d modules=%d degree=%d diameter=%d I-diameter=%d\n",
 		net.Name(), imp.N(), imp.Modules(), net.Degree(), net.Diameter(), net.IDiameter())
 
 	var plan *netsim.FaultPlan
@@ -561,7 +655,7 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 		}.PlanTopo(imp)
 		exitIf(err)
 		fs = topo.NewFaultSet()
-		fmt.Printf("fault plan: %d events (mtbf %.0f, repair %d, node fraction %.2f)\n",
+		fmt.Fprintf(console, "fault plan: %d events (mtbf %.0f, repair %d, node fraction %.2f)\n",
 			plan.Len(), mtbf, repair, nodeFrc)
 	}
 
@@ -570,58 +664,81 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 		histCols = fmt.Sprintf(" %-8s %-8s %-8s", "p50", "p95", "p99")
 	}
 	if plan == nil {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-8s %-10s %-8s%s\n",
+		fmt.Fprintf(console, "%-8s %-8s %-10s %-10s %-8s %-10s %-8s%s\n",
 			"ratio", "rate", "injected", "delivered", "expired", "avg-lat", "max-lat", histCols)
 	} else {
-		fmt.Printf("%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
+		fmt.Fprintf(console, "%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
 			"ratio", "rate", "injected", "delivered", "lost", "expired", "drops", "avg-lat", "degraded", "reroutes", "detours", histCols)
 	}
 	name := net.Name() + " (implicit)"
 	multi := len(ratios)*len(rates) > 1
 	for _, ratio := range ratios {
 		for _, rate := range rates {
-			pb, col := o.build(imp.Module)
-			cfg := netsim.ImplicitConfig{
-				Topo:            imp,
-				Router:          r,
-				OffModulePeriod: ratio,
-				InjectionRate:   rate,
-				WarmupCycles:    warmup,
-				MeasureCycles:   cycles,
-				Seed:            seed,
-				Probe:           pb,
-			}
-			if ratio > 1 {
-				cfg.ModuleOf = imp.Module
-			}
-			if plan == nil {
-				st, err := netsim.RunImplicit(cfg)
+			var samples []map[string]float64
+			var headStats any
+			var headPct map[string]float64
+			var headRouter *obs.RouterStats
+			for rep := 0; rep < o.repeat; rep++ {
+				pb, col := o.build(imp.Module)
+				cfg := netsim.ImplicitConfig{
+					Topo:            imp,
+					Router:          r,
+					OffModulePeriod: ratio,
+					InjectionRate:   rate,
+					WarmupCycles:    warmup,
+					MeasureCycles:   cycles,
+					Seed:            seed + int64(rep),
+					Probe:           pb,
+				}
+				if ratio > 1 {
+					cfg.ModuleOf = imp.Module
+				}
+				if plan == nil {
+					if o.live != nil {
+						// The sampler calls this on the simulation goroutine,
+						// between cycles — single-goroutine routers are safe.
+						o.live.RouterSource(r.RouterStats)
+					}
+					st, err := netsim.RunImplicit(cfg)
+					exitIf(err)
+					pct := percentiles(o.hist, st.P50Latency, st.P95Latency, st.P99Latency)
+					samples = append(samples, obs.Manifest{Stats: st, Percentiles: pct, Router: &st.Router}.Flatten())
+					if rep > 0 {
+						continue
+					}
+					headStats, headPct, headRouter = st, pct, &st.Router
+					fmt.Fprintf(console, "%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
+						ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency,
+						quantileCols(o.hist, st.P50Latency, st.P95Latency, st.P99Latency))
+					exitIf(st.Router.WriteText(console))
+					col.export(o, ratio, rate, multi)
+					continue
+				}
+				// Fresh fault state per run: the scheduler re-applies the plan,
+				// and the router's suffix cache starts clean.
+				fs.Reset()
+				fa := topo.NewFaultAware(imp, r, fs)
+				cfg.Router = fa
+				if o.live != nil {
+					o.live.RouterSource(fa.RouterStats)
+				}
+				st, err := netsim.RunImplicitFaulty(cfg, netsim.ImplicitFaultConfig{Plan: plan, Faults: fs})
 				exitIf(err)
-				fmt.Printf("%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
-					ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency,
+				pct := percentiles(o.hist, st.P50Latency, st.P95Latency, st.P99Latency)
+				samples = append(samples, obs.Manifest{Stats: st, Percentiles: pct, Router: &st.Router}.Flatten())
+				if rep > 0 {
+					continue
+				}
+				headStats, headPct, headRouter = st, pct, &st.Router
+				fmt.Fprintf(console, "%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9d %-9d %-9d%s\n",
+					ratio, rate, st.Injected, st.Delivered, st.Lost, st.Expired, st.HopLimitDrops,
+					st.AvgLatency, st.DeliveredDegraded, st.RerouteEvents, st.MisroutedHops,
 					quantileCols(o.hist, st.P50Latency, st.P95Latency, st.P99Latency))
-				exitIf(st.Router.WriteText(os.Stdout))
-				o.writeManifest(name, runConfig(ratio, rate, warmup, cycles, nFaults), seed, st,
-					percentiles(o.hist, st.P50Latency, st.P95Latency, st.P99Latency),
-					&st.Router, ratio, rate, multi)
+				exitIf(st.Router.WriteText(console))
 				col.export(o, ratio, rate, multi)
-				continue
 			}
-			// Fresh fault state per run: the scheduler re-applies the plan,
-			// and the router's suffix cache starts clean.
-			fs.Reset()
-			cfg.Router = topo.NewFaultAware(imp, r, fs)
-			st, err := netsim.RunImplicitFaulty(cfg, netsim.ImplicitFaultConfig{Plan: plan, Faults: fs})
-			exitIf(err)
-			fmt.Printf("%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9d %-9d %-9d%s\n",
-				ratio, rate, st.Injected, st.Delivered, st.Lost, st.Expired, st.HopLimitDrops,
-				st.AvgLatency, st.DeliveredDegraded, st.RerouteEvents, st.MisroutedHops,
-				quantileCols(o.hist, st.P50Latency, st.P95Latency, st.P99Latency))
-			exitIf(st.Router.WriteText(os.Stdout))
-			o.writeManifest(name, runConfig(ratio, rate, warmup, cycles, nFaults), seed, st,
-				percentiles(o.hist, st.P50Latency, st.P95Latency, st.P99Latency),
-				&st.Router, ratio, rate, multi)
-			col.export(o, ratio, rate, multi)
+			o.writeManifest(name, runConfig(ratio, rate, warmup, cycles, nFaults), seed,
+				headStats, headPct, headRouter, samples, ratio, rate, multi)
 		}
 	}
 }
@@ -645,6 +762,11 @@ func parseFloats(s string) []float64 {
 	}
 	return out
 }
+
+// console receives the human-readable output (network headline, sweep
+// tables, router telemetry). It is stdout except under -manifest -, where
+// the manifest JSON owns stdout and the tables move to stderr.
+var console io.Writer = os.Stdout
 
 func exitIf(err error) {
 	if err != nil {

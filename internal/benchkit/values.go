@@ -1,0 +1,43 @@
+package benchkit
+
+import "sort"
+
+// ValueUnit is the metric unit ValueRun stores every sample under. Using a
+// single fixed unit keeps the Diff/Gate machinery's (benchmark, metric)
+// addressing intact while the "benchmark" axis carries arbitrary metric
+// names instead of go-test benchmark names.
+const ValueUnit = "value"
+
+// ValueRun packages named scalar sample sets as a *Run so everything built
+// for benchmark records — Diff's per-metric Mann-Whitney test, FormatTable,
+// ParseBudgets/Gate — applies to any repeated measurements, not just
+// `go test -bench` output. Each metric name becomes one Result holding one
+// Sample per observation map that contains the name (metrics missing from
+// some observations simply have fewer samples); Summaries are computed
+// before returning. cmd/obsdiff feeds run-manifest metrics through this to
+// gate simulation behavior the way cmd/bench gates ns/op.
+func ValueRun(id string, env Env, observations []map[string]float64) *Run {
+	run := &Run{Schema: SchemaVersion, ID: id, Env: env}
+	names := map[string]bool{}
+	for _, ob := range observations {
+		for name := range ob {
+			names[name] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		res := Result{Name: name}
+		for _, ob := range observations {
+			if v, ok := ob[name]; ok {
+				res.Samples = append(res.Samples, Sample{Iters: 1, Metrics: map[string]float64{ValueUnit: v}})
+			}
+		}
+		run.Results = append(run.Results, res)
+	}
+	run.Summarize()
+	return run
+}

@@ -1,0 +1,79 @@
+package benchkit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValueRunShape: each metric name becomes one Result with one sample
+// per observation containing it, all under ValueUnit, summarized and sorted.
+func TestValueRunShape(t *testing.T) {
+	obs := []map[string]float64{
+		{"a": 1, "b": 10},
+		{"a": 2, "b": 20},
+		{"a": 3}, // b missing from this observation
+	}
+	run := ValueRun("r1", Env{GoVersion: "go1.22"}, obs)
+	if run.ID != "r1" || run.Env.GoVersion != "go1.22" {
+		t.Fatalf("identity lost: %+v", run)
+	}
+	if len(run.Results) != 2 || run.Results[0].Name != "a" || run.Results[1].Name != "b" {
+		t.Fatalf("want sorted results [a b], got %+v", run.Results)
+	}
+	a := run.Result("a")
+	if len(a.Samples) != 3 {
+		t.Fatalf("a has %d samples, want 3", len(a.Samples))
+	}
+	if s := a.Summary[ValueUnit]; s.N != 3 || s.Median != 2 {
+		t.Fatalf("a summary = %+v", s)
+	}
+	b := run.Result("b")
+	if len(b.Samples) != 2 {
+		t.Fatalf("b has %d samples (missing observations should be skipped, not zero-filled), want 2", len(b.Samples))
+	}
+	if s := b.Summary[ValueUnit]; s.Median != 15 {
+		t.Fatalf("b summary = %+v", s)
+	}
+}
+
+// TestValueRunDiffGate: two ValueRuns flow through the same Diff/Gate
+// machinery as benchmark records — a clearly separated regression is
+// significant and violates its budget, noise is not.
+func TestValueRunDiffGate(t *testing.T) {
+	old := ValueRun("old", Env{}, []map[string]float64{
+		{"lat": 10.1}, {"lat": 10.3}, {"lat": 9.9}, {"lat": 10.2}, {"lat": 10.0}, {"lat": 10.4},
+	})
+	regressed := ValueRun("new", Env{}, []map[string]float64{
+		{"lat": 13.1}, {"lat": 13.3}, {"lat": 12.9}, {"lat": 13.2}, {"lat": 13.0}, {"lat": 13.4},
+	})
+	deltas := Diff(old, regressed, []string{ValueUnit})
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if d.Name != "lat" || d.Metric != ValueUnit {
+		t.Fatalf("delta addressed %q/%q", d.Name, d.Metric)
+	}
+	if !d.Significant() {
+		t.Fatalf("6v6 full separation should be significant, p = %v", d.P)
+	}
+	if math.Abs(d.Pct-30) > 1 {
+		t.Fatalf("delta %.1f%%, want ~+30%%", d.Pct)
+	}
+	budgets, err := ParseBudgets("lat:+10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets[0].Metric = ValueUnit
+	if v := Gate(deltas, budgets); len(v) != 1 {
+		t.Fatalf("gate found %d violations, want 1", len(v))
+	}
+}
+
+// TestValueRunEmpty: no observations means no results, not a panic.
+func TestValueRunEmpty(t *testing.T) {
+	run := ValueRun("r", Env{}, nil)
+	if len(run.Results) != 0 {
+		t.Fatalf("empty run has results: %+v", run.Results)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestBuildObserverParity pins the guarantee LevelStats documents: observing
+// a build never perturbs it. For every family in the parity grid, the graph
+// built with an Observe callback — at one worker (where the callback alone
+// routes the build through the parallel enumerator) and at several — is
+// byte-identical to the sequential oracle.
+func TestBuildObserverParity(t *testing.T) {
+	for name, ip := range parityCases() {
+		gSeq, ixSeq, err := ip.BuildSeq(BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: BuildSeq: %v", name, err)
+		}
+		for _, w := range []int{1, 2, 4} {
+			levels := 0
+			gObs, ixObs, err := ip.Build(BuildOptions{Workers: w, Observe: func(LevelStats) { levels++ }})
+			if err != nil {
+				t.Fatalf("%s workers=%d observed: %v", name, w, err)
+			}
+			assertIdentical(t, name, gSeq, ixSeq, gObs, ixObs)
+			if levels == 0 {
+				t.Fatalf("%s workers=%d: observer never fired", name, w)
+			}
+		}
+	}
+}
+
+// TestBuildObserverInvariants checks the structural laws every LevelStats
+// stream must satisfy, independent of timing: level numbers are consecutive,
+// each level's frontier is the previous level's discoveries (level 0 expands
+// the seed alone), ArcSlots is frontier x generators, TotalNodes is the
+// running sum of discoveries plus the seed and ends at the built size, and
+// the occupancy/arena fields are monotone.
+func TestBuildObserverInvariants(t *testing.T) {
+	for name, ip := range parityCases() {
+		var stats []LevelStats
+		_, ix, err := ip.Build(BuildOptions{Workers: 2, Observe: func(ls LevelStats) { stats = append(stats, ls) }})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(stats) == 0 {
+			t.Fatalf("%s: no levels observed", name)
+		}
+		G := len(ip.Gens)
+		total := 1 // the seed
+		for i, ls := range stats {
+			if ls.Level != i {
+				t.Fatalf("%s: stats[%d].Level = %d", name, i, ls.Level)
+			}
+			wantFrontier := 1
+			if i > 0 {
+				wantFrontier = stats[i-1].NewNodes
+			}
+			if ls.FrontierNodes != wantFrontier {
+				t.Fatalf("%s level %d: frontier %d, want previous level's %d new nodes",
+					name, i, ls.FrontierNodes, wantFrontier)
+			}
+			if ls.ArcSlots != ls.FrontierNodes*G {
+				t.Fatalf("%s level %d: ArcSlots %d, want frontier %d x %d generators",
+					name, i, ls.ArcSlots, ls.FrontierNodes, G)
+			}
+			total += ls.NewNodes
+			if ls.TotalNodes != total {
+				t.Fatalf("%s level %d: TotalNodes %d, want running total %d", name, i, ls.TotalNodes, total)
+			}
+			if ls.Expand < 0 || ls.Dedup < 0 || ls.Assign < 0 || ls.Publish < 0 {
+				t.Fatalf("%s level %d: negative phase time: %+v", name, i, ls)
+			}
+			if ls.Shards < 1 || ls.MaxShardLoad < 1 {
+				t.Fatalf("%s level %d: implausible shard stats: %d shards, max load %d",
+					name, i, ls.Shards, ls.MaxShardLoad)
+			}
+			if ls.MaxShardLoad > ls.TotalNodes {
+				t.Fatalf("%s level %d: MaxShardLoad %d exceeds TotalNodes %d",
+					name, i, ls.MaxShardLoad, ls.TotalNodes)
+			}
+			if i > 0 {
+				prev := stats[i-1]
+				if ls.CandidateArenaBytes < prev.CandidateArenaBytes || ls.InternArenaBytes < prev.InternArenaBytes {
+					t.Fatalf("%s level %d: arena accounting shrank: %+v after %+v", name, i, ls, prev)
+				}
+			}
+		}
+		last := stats[len(stats)-1]
+		if last.NewNodes != 0 {
+			t.Fatalf("%s: final level discovered %d nodes; enumeration should end on an empty frontier", name, last.NewNodes)
+		}
+		if last.TotalNodes != ix.N() {
+			t.Fatalf("%s: final TotalNodes %d, built graph has %d", name, last.TotalNodes, ix.N())
+		}
+	}
+}
+
+// TestBuildObserverSequentialUntouched: without an observer, Workers == 1
+// still takes the sequential path (DefaultWorkers pinned to 1 here), so the
+// observer dispatch did not tax plain builds.
+func TestBuildObserverSequentialUntouched(t *testing.T) {
+	ip := parityCases()["paper-example"]
+	g1, ix1, err := ip.Build(BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSeq, ixSeq, err := ip.BuildSeq(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "paper-example", gSeq, ixSeq, g1, ix1)
+}

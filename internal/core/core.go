@@ -160,6 +160,14 @@ type BuildOptions struct {
 	// workers, and 0 falls back to DefaultWorkers (and then GOMAXPROCS).
 	// The built graph and index are bit-identical for every worker count.
 	Workers int
+	// Observe, when non-nil, receives one LevelStats record per completed
+	// BFS level: frontier sizes, per-phase wall times, intern-table
+	// occupancy, and arena bytes. Observation requires the level-structured
+	// enumerator, so a non-nil Observe routes the build through the
+	// parallel builder even at Workers == 1 (whose output is byte-identical
+	// to the sequential oracle). The callback runs synchronously between
+	// levels; keep it cheap.
+	Observe func(LevelStats)
 }
 
 // DefaultWorkers, when positive, is the worker count used by Build whenever
@@ -195,7 +203,7 @@ func (ip *IPGraph) Build(opt BuildOptions) (*graph.Graph, *Index, error) {
 	if err := ip.Validate(); err != nil {
 		return nil, nil, err
 	}
-	if w := effectiveWorkers(opt); w > 1 {
+	if w := effectiveWorkers(opt); w > 1 || opt.Observe != nil {
 		return ip.buildParallel(opt, w)
 	}
 	return ip.buildSeq(opt)

@@ -41,6 +41,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/symbols"
@@ -54,9 +55,11 @@ const expandChunk = 128
 type labelArena struct {
 	block     []byte
 	blockSize int
+	used      int64 // bytes handed out so far (LevelStats accounting)
 }
 
 func (a *labelArena) copyOf(b []byte) []byte {
+	a.used += int64(len(b))
 	if len(a.block) < len(b) {
 		if a.blockSize < len(b) {
 			a.blockSize = 1 << 16
@@ -110,12 +113,25 @@ func (ip *IPGraph) buildParallel(opt BuildOptions, workers int) (*graph.Graph, *
 	shardNew := make([][]*newLabel, shardCount)
 	permArena := &labelArena{blockSize: 1 << 20} // permanent storage for interned labels
 
+	// Instrumentation (BuildOptions.Observe) is computed only when asked
+	// for: the stamp helper returns the zero time on unobserved builds, so
+	// the hot path pays a nil check per *level*, nothing per node.
+	observe := opt.Observe != nil
+	stamp := func() time.Time {
+		if observe {
+			return time.Now()
+		}
+		return time.Time{}
+	}
+	levelNo := 0
+
 	for len(frontier) > 0 {
 		nf := len(frontier)
 		if nf > ((1<<31)-1)/G {
 			return nil, nil, fmt.Errorf("core: %s: frontier of %d nodes overflows the level slot space", ip.Name, nf)
 		}
 		level := make([]int32, nf*G)
+		t0 := stamp()
 
 		// Phase 1: expansion. The intern tables are read-only here.
 		var cursor atomic.Int64
@@ -153,6 +169,7 @@ func (ip *IPGraph) buildParallel(opt BuildOptions, workers int) (*graph.Graph, *
 			}(w)
 		}
 		wg.Wait()
+		t1 := stamp()
 
 		// Phase 2: per-shard dedup. Each shard is owned by one goroutine.
 		var shardCursor atomic.Int64
@@ -189,6 +206,7 @@ func (ip *IPGraph) buildParallel(opt BuildOptions, workers int) (*graph.Graph, *
 			}()
 		}
 		wg.Wait()
+		t2 := stamp()
 
 		// Phase 3: canonical id assignment. Slots are unique across entries,
 		// so sorting by minimum slot is a total, schedule-independent order —
@@ -211,6 +229,7 @@ func (ip *IPGraph) buildParallel(opt BuildOptions, workers int) (*graph.Graph, *
 			e.label = permArena.copyOf(e.label)
 			ix.labels = append(ix.labels, symbols.Label(e.label))
 		}
+		t3 := stamp()
 
 		// Phase 4: publish ids into the shard maps and resolve arc slots.
 		shardCursor.Store(0)
@@ -235,6 +254,33 @@ func (ip *IPGraph) buildParallel(opt BuildOptions, workers int) (*graph.Graph, *
 			}()
 		}
 		wg.Wait()
+
+		if observe {
+			t4 := time.Now()
+			ls := LevelStats{
+				Level:            levelNo,
+				FrontierNodes:    nf,
+				NewNodes:         len(winners),
+				TotalNodes:       len(ix.labels),
+				ArcSlots:         nf * G,
+				Expand:           t1.Sub(t0),
+				Dedup:            t2.Sub(t1),
+				Assign:           t3.Sub(t2),
+				Publish:          t4.Sub(t3),
+				InternArenaBytes: permArena.used,
+				Shards:           shardCount,
+			}
+			for _, a := range arenas {
+				ls.CandidateArenaBytes += a.used
+			}
+			for _, m := range ix.shards {
+				if len(m) > ls.MaxShardLoad {
+					ls.MaxShardLoad = len(m)
+				}
+			}
+			opt.Observe(ls)
+		}
+		levelNo++
 
 		arcs = append(arcs, level...)
 		frontier = frontier[:0]

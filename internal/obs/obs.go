@@ -39,6 +39,8 @@ package obs
 import (
 	"fmt"
 	"io"
+	"os"
+	"time"
 )
 
 // DropReason classifies why the simulator discarded a packet copy. Most
@@ -244,24 +246,67 @@ func (m multi) LatencyQuantile(q float64) float64 {
 }
 
 // Progress is a live ticker: every Every cycles it writes one status line
-// (cycle, injected/delivered/dropped/retransmitted counts) to W. Zero
-// values disable it gracefully (Every <= 0 never prints).
+// (cycle, injected/delivered/dropped/retransmitted counts, the delivered-
+// packet rate over the last window, and — when Total is set — an ETA) to W,
+// which defaults to os.Stderr so an uninstrumented CLI run just works and a
+// test can capture the output by injecting a buffer. Every <= 0 disables
+// printing entirely.
 type Progress struct {
 	NopProbe
 	Every int
-	W     io.Writer
+	// W receives the status lines; nil means os.Stderr.
+	W io.Writer
+	// Total is the expected cycle count of the run (warmup + measurement);
+	// when positive, each line carries "cycle c/Total" and an ETA
+	// extrapolated from the wall-clock pace of the last window. Runs may
+	// drain past Total, at which point the ETA column reads "drain".
+	Total int
 
 	cycle                              int
 	injected, delivered, dropped, retx int64
+	lastPrint                          time.Time
+	lastDelivered                      int64
+	now                                func() time.Time // test hook; nil = time.Now
 }
 
 func (p *Progress) Tick(cycle int) {
 	p.cycle = cycle
-	if p.Every <= 0 || p.W == nil || cycle == 0 || cycle%p.Every != 0 {
+	if p.Every <= 0 || cycle == 0 || cycle%p.Every != 0 {
 		return
 	}
-	fmt.Fprintf(p.W, "cycle %d: injected %d delivered %d dropped %d retx %d\n",
-		cycle, p.injected, p.delivered, p.dropped, p.retx)
+	w := p.W
+	if w == nil {
+		w = os.Stderr
+	}
+	clock := p.now
+	if clock == nil {
+		clock = time.Now
+	}
+	t := clock()
+
+	cycleCol := fmt.Sprintf("cycle %d", cycle)
+	if p.Total > 0 {
+		cycleCol = fmt.Sprintf("cycle %d/%d", cycle, p.Total)
+	}
+	rateCol, etaCol := "", ""
+	if !p.lastPrint.IsZero() {
+		if dt := t.Sub(p.lastPrint).Seconds(); dt > 0 {
+			rateCol = fmt.Sprintf(" (%.0f/s)", float64(p.delivered-p.lastDelivered)/dt)
+			if p.Total > 0 {
+				switch {
+				case cycle >= p.Total:
+					etaCol = " eta drain"
+				default:
+					// Cycles per wall second over the window just elapsed.
+					eta := time.Duration(float64(p.Total-cycle) / (float64(p.Every) / dt) * float64(time.Second))
+					etaCol = " eta " + eta.Round(time.Second).String()
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s: injected %d delivered %d%s dropped %d retx %d%s\n",
+		cycleCol, p.injected, p.delivered, rateCol, p.dropped, p.retx, etaCol)
+	p.lastPrint, p.lastDelivered = t, p.delivered
 }
 
 func (p *Progress) Inject(int, int64, int64, int64, bool) { p.injected++ }

@@ -11,9 +11,7 @@
 package obs
 
 import (
-	"encoding/json"
 	"expvar"
-	"io"
 	"math/bits"
 	"sort"
 	"sync"
@@ -264,26 +262,4 @@ func (r *Registry) PublishExpvar(name string) {
 	}
 	expvarPublished[name] = true
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
-}
-
-// Manifest is the machine-readable record of one run: what was simulated
-// (config and seed), what came out (the simulator's stats struct and
-// latency percentiles), how the router behaved (RouterStats), and whatever
-// the process accumulated in its registry. cmd/simulate writes one per
-// (ratio, rate) combination under -manifest.
-type Manifest struct {
-	Run         string             `json:"run"`
-	Config      map[string]any     `json:"config,omitempty"`
-	Seed        int64              `json:"seed"`
-	Stats       any                `json:"stats,omitempty"`
-	Percentiles map[string]float64 `json:"percentiles,omitempty"`
-	Router      *RouterStats       `json:"router,omitempty"`
-	Metrics     map[string]any     `json:"metrics,omitempty"`
-}
-
-// WriteJSON writes the manifest as indented JSON.
-func (m Manifest) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(m)
 }

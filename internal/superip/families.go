@@ -57,6 +57,12 @@ type Net struct {
 	// (core.DefaultWorkers, then GOMAXPROCS). The built graph is identical
 	// for every setting.
 	Workers int
+	// Observe is passed through to core.BuildOptions.Observe: per-level
+	// instrumentation of the level-synchronous enumerator (phase wall
+	// times, frontier sizes, intern occupancy, arena bytes). Setting it
+	// routes the build through the parallel enumerator even at Workers ==
+	// 1; the output stays byte-identical.
+	Observe func(core.LevelStats)
 
 	s *core.SuperIP // lazily assembled
 }
@@ -261,7 +267,7 @@ func (n *Net) BuildWithIndex() (*graph.Graph, *core.Index, error) {
 	if n.N() > 1<<21 {
 		return nil, nil, fmt.Errorf("superip: %s with %d nodes is too large to build", n.Name(), n.N())
 	}
-	return n.Super().Build(core.BuildOptions{Workers: n.Workers})
+	return n.Super().Build(core.BuildOptions{Workers: n.Workers, Observe: n.Observe})
 }
 
 // Router returns a Theorem 4.1/4.3 router for the network.
