@@ -213,6 +213,7 @@ func main() {
 		sym     = flag.Bool("sym", false, "symmetric (distinct-seed) variant (super-IP families)")
 		routerK = flag.String("router", "bfs", "routing for super-IP runs: bfs (per-destination tables) or algebraic (Theorem 4.1/4.3 label arithmetic, O(1) state per node)")
 		impl    = flag.Bool("implicit", false, "simulate the implicit topology without materializing the graph (super-IP families; forces algebraic routing; -faults uses the fault-aware algebraic router; observability collectors attach to the sparse simulator's probe hooks)")
+		shards  = flag.Int("shards", 0, "run -implicit sweeps on the sharded engine with this many worker goroutines (module-partitioned lanes with conservative lookahead; any shard count produces identical stats for a fixed seed, so this only changes wall-clock; 0 = classic single-loop simulator)")
 		dim     = flag.Int("dim", 8, "hypercube dimension")
 		module  = flag.Int("module", 4, "hypercube: module subcube dimension; torus: tile side")
 		rows    = flag.Int("rows", 16, "torus rows")
@@ -302,10 +303,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "live dashboard at http://%s/ (JSON /snapshot, SSE /stream, expvar /debug/vars)\n", ln.Addr())
 	}
 
+	if *shards > 0 && !*impl {
+		exitIf(fmt.Errorf("-shards requires -implicit (the sharded engine runs implicit topologies)"))
+	}
 	if *impl {
 		runImplicitSweep(*netName, *l, *nucleus, *sym,
 			parseInts(*ratios), parseFloats(*rates), *cycles, *warmup, *seed,
-			*nFaults, *mtbf, *repair, *nodeFrc, o)
+			*nFaults, *mtbf, *repair, *nodeFrc, *shards, o)
 		return
 	}
 
@@ -414,7 +418,7 @@ func main() {
 				}
 				col.export(o, ratio, rate, multi)
 			}
-			o.writeManifest(name, runConfig(ratio, rate, *warmup, *cycles, *nFaults), *seed,
+			o.writeManifest(name, runConfig(ratio, rate, *warmup, *cycles, *nFaults, 0), *seed,
 				headStats, headPct, nil, samples, ratio, rate, multi)
 		}
 	}
@@ -436,12 +440,18 @@ func percentiles(on bool, p50, p95, p99 float64) map[string]float64 {
 	return map[string]float64{"p50": p50, "p95": p95, "p99": p99}
 }
 
-// runConfig captures the per-run sweep coordinates for the manifest.
-func runConfig(ratio int, rate float64, warmup, cycles, faults int) map[string]any {
-	return map[string]any{
+// runConfig captures the per-run sweep coordinates for the manifest. The
+// shards key appears only on sharded-engine runs, so classic manifests keep
+// their historical shape (and diff clean against old recordings).
+func runConfig(ratio int, rate float64, warmup, cycles, faults, shards int) map[string]any {
+	m := map[string]any{
 		"ratio": ratio, "rate": rate,
 		"warmup": warmup, "cycles": cycles, "faults": faults,
 	}
+	if shards > 0 {
+		m["shards"] = shards
+	}
+	return m
 }
 
 // writeManifest emits the JSON run manifest when -manifest is set. router is
@@ -629,9 +639,15 @@ func buildSystem(name string, l int, nucleus string, sym bool, dim, module, rows
 // drawn in id space (RandomFaults.PlanTopo) — degraded-mode runs need no
 // graph either. Observability collectors ride along through the probe
 // hooks, with modules resolved algebraically (Implicit.Module), and every
-// row is followed by the router's cache/reroute telemetry.
+// row is followed by the router's cache/reroute telemetry. With shards > 0
+// the sweep runs on the sharded engine instead: nodes are partitioned into
+// module-owned lanes stepped by that many worker goroutines, with per-lane
+// topology/router/fault-sink instances built by a lane factory (none of the
+// algebraic oracles need to be goroutine-safe that way). Stats are
+// deterministic in everything but wall-clock — any shard count yields the
+// same numbers for a fixed seed.
 func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []int, rates []float64, cycles, warmup int, seed int64,
-	nFaults int, mtbf float64, repair int, nodeFrc float64, o obsOpts) {
+	nFaults int, mtbf float64, repair int, nodeFrc float64, shards int, o obsOpts) {
 	net, err := superNet(netName, l, nucleus, sym)
 	exitIf(err)
 	imp, err := topo.NewImplicit(net.Super())
@@ -670,6 +686,26 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 		fmt.Fprintf(console, "%-8s %-8s %-10s %-10s %-6s %-8s %-6s %-10s %-9s %-9s %-9s%s\n",
 			"ratio", "rate", "injected", "delivered", "lost", "expired", "drops", "avg-lat", "degraded", "reroutes", "detours", histCols)
 	}
+	// Lane factory for the sharded engine: each lane gets private instances
+	// of the implicit topology and the algebraic router (plus, under faults,
+	// its own fault-aware wrapper and sink), because none of them is
+	// required to be safe for concurrent use.
+	newLane := func() (netsim.Topology, netsim.Router, netsim.FaultSink, error) {
+		lt, err := topo.NewImplicit(net.Super())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lr, err := topo.NewAlgebraic(net.Super())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if plan == nil {
+			return lt, lr, nil, nil
+		}
+		lfs := topo.NewFaultSet()
+		return lt, topo.NewFaultAware(lt, lr, lfs), lfs, nil
+	}
+
 	name := net.Name() + " (implicit)"
 	multi := len(ratios)*len(rates) > 1
 	for _, ratio := range ratios {
@@ -680,6 +716,40 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 			var headRouter *obs.RouterStats
 			for rep := 0; rep < o.repeat; rep++ {
 				pb, col := o.build(imp.Module)
+				if shards > 0 {
+					st, err := netsim.RunSharded(netsim.ShardedConfig{
+						NewLane:         newLane,
+						Space:           imp,
+						OffModulePeriod: ratio,
+						InjectionRate:   rate,
+						WarmupCycles:    warmup,
+						MeasureCycles:   cycles,
+						Seed:            seed + int64(rep),
+						Shards:          shards,
+						Plan:            plan,
+						Probe:           pb,
+					})
+					exitIf(err)
+					pct := percentiles(o.hist, st.P50Latency, st.P95Latency, st.P99Latency)
+					samples = append(samples, obs.Manifest{Stats: st, Percentiles: pct, Router: &st.Router}.Flatten())
+					if rep > 0 {
+						continue
+					}
+					headStats, headPct, headRouter = st, pct, &st.Router
+					if plan == nil {
+						fmt.Fprintf(console, "%-8d %-8.4f %-10d %-10d %-8d %-10.2f %-8d%s\n",
+							ratio, rate, st.Injected, st.Delivered, st.Expired, st.AvgLatency, st.MaxLatency,
+							quantileCols(o.hist, st.P50Latency, st.P95Latency, st.P99Latency))
+					} else {
+						fmt.Fprintf(console, "%-8d %-8.4f %-10d %-10d %-6d %-8d %-6d %-10.2f %-9d %-9d %-9d%s\n",
+							ratio, rate, st.Injected, st.Delivered, st.Lost, st.Expired, st.HopLimitDrops,
+							st.AvgLatency, st.DeliveredDegraded, st.RerouteEvents, st.MisroutedHops,
+							quantileCols(o.hist, st.P50Latency, st.P95Latency, st.P99Latency))
+					}
+					exitIf(st.Router.WriteText(console))
+					col.export(o, ratio, rate, multi)
+					continue
+				}
 				cfg := netsim.ImplicitConfig{
 					Topo:            imp,
 					Router:          r,
@@ -737,7 +807,7 @@ func runImplicitSweep(netName string, l int, nucleus string, sym bool, ratios []
 				exitIf(st.Router.WriteText(console))
 				col.export(o, ratio, rate, multi)
 			}
-			o.writeManifest(name, runConfig(ratio, rate, warmup, cycles, nFaults), seed,
+			o.writeManifest(name, runConfig(ratio, rate, warmup, cycles, nFaults, shards), seed,
 				headStats, headPct, headRouter, samples, ratio, rate, multi)
 		}
 	}

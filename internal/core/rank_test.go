@@ -158,3 +158,36 @@ func TestRankerRejectsNonVertices(t *testing.T) {
 		t.Fatal("unreachable arrangement accepted")
 	}
 }
+
+// TestRankerModuleArithmetic checks the closed-form module enumeration:
+// ModuleSize * Modules covers N exactly, ModuleNode(m, ·) enumerates each
+// module without repeats, and ModuleOfID inverts it — all without touching
+// label space.
+func TestRankerModuleArithmetic(t *testing.T) {
+	for name, s := range rankerGrid() {
+		r, err := s.Ranker()
+		if err != nil {
+			t.Fatalf("%s: ranker: %v", name, err)
+		}
+		size := r.ModuleSize()
+		if size*r.Modules() != r.N() {
+			t.Fatalf("%s: ModuleSize %d * Modules %d != N %d", name, size, r.Modules(), r.N())
+		}
+		seen := make([]bool, r.N())
+		for mod := int64(0); mod < r.Modules(); mod++ {
+			for off := int64(0); off < size; off++ {
+				id := r.ModuleNode(mod, off)
+				if id < 0 || id >= r.N() {
+					t.Fatalf("%s: ModuleNode(%d,%d) = %d out of [0,%d)", name, mod, off, id, r.N())
+				}
+				if seen[id] {
+					t.Fatalf("%s: ModuleNode(%d,%d) = %d emitted twice", name, mod, off, id)
+				}
+				seen[id] = true
+				if got := r.ModuleOfID(id); got != mod {
+					t.Fatalf("%s: ModuleOfID(ModuleNode(%d,%d)) = %d", name, mod, off, got)
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/networks"
 	"repro/internal/obs"
+	"repro/internal/superip"
 	"repro/internal/topo"
 )
 
@@ -172,4 +173,76 @@ func BenchmarkHotspotPattern(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRunShardedQ6 prices the sharded engine's coordination machinery
+// against BenchmarkRunImplicitQ6: same Q6 workload, one worker, uniform
+// link period 1 — so the conservative window is a single cycle and every
+// cycle pays a full barrier + merge + lane sweep. This is the worst case
+// for the coordinator; the delta over RunImplicitQ6 is pure sharding
+// overhead. pkts/s is delivered measured packets per wall-clock second.
+func BenchmarkRunShardedQ6(b *testing.B) {
+	ht := topo.HypercubeTopo{Dim: 6}
+	cfg := ShardedConfig{
+		NewLane: func() (Topology, Router, FaultSink, error) {
+			return ht, topo.HypercubeRouter{Dim: 6}, nil, nil
+		},
+		Space:         topo.SubcubeSpace{Dim: 6, Low: 3},
+		InjectionRate: 0.01,
+		WarmupCycles:  50, MeasureCycles: 300,
+		Lanes: 8,
+	}
+	var delivered int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		st, err := RunSharded(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered += int64(st.Delivered)
+	}
+	b.ReportMetric(float64(delivered)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkRunImplicitSharded is the intended regime of the sharded engine:
+// a super-IP instance (HSN(2;Q4), algebraic routing, off-module period 4 so
+// the lookahead window is 4 cycles) stepped by two workers. Compare pkts/s
+// here against BenchmarkRunShardedQ6 and the EXPERIMENTS.md scaling table;
+// allocs/op guards the per-window merge paths staying growth-free.
+func BenchmarkRunImplicitSharded(b *testing.B) {
+	net := superip.HSN(2, superip.NucleusHypercube(4))
+	space, err := topo.NewImplicit(net.Super())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ShardedConfig{
+		NewLane: func() (Topology, Router, FaultSink, error) {
+			imp, err := topo.NewImplicit(net.Super())
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			air, err := topo.NewAlgebraic(net.Super())
+			return imp, air, nil, err
+		},
+		Space:         space,
+		InjectionRate: 0.01,
+		WarmupCycles:  50, MeasureCycles: 300,
+		OffModulePeriod: 4,
+		Lanes:           8,
+		Shards:          2,
+	}
+	var delivered int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		st, err := RunSharded(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered += int64(st.Delivered)
+	}
+	b.ReportMetric(float64(delivered)/b.Elapsed().Seconds(), "pkts/s")
 }

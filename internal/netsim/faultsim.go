@@ -115,16 +115,8 @@ type FaultStats struct {
 	HopLimitDrops int
 }
 
-// fpacket is one in-flight copy of a flow.
-type fpacket struct {
-	dst      int32
-	seq      int32
-	ttl      int // remaining detour budget for this copy
-	hops     int // total hops taken (livelock watchdog)
-	measured bool
-}
-
-// flowState is the source-side record backing retransmission.
+// flowState is the source-side record backing retransmission. The in-flight
+// copies themselves are epackets whose id is the flow sequence number.
 type flowState struct {
 	src, dst int32
 	born     int
@@ -144,28 +136,27 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 	if err := fc.normalize(); err != nil {
 		return FaultStats{}, err
 	}
-	g := cfg.Graph
-	n := g.N()
-	if err := fc.Plan.Validate(g); err != nil {
+	if err := fc.Plan.Validate(cfg.Graph); err != nil {
 		return FaultStats{}, err
 	}
+	return runFaultyNormalized(cfg, fc)
+}
+
+// runFaultyNormalized assembles the degraded-mode materialized variant of
+// the engine and runs it. cfg, fc, and the plan must already be
+// normalized/validated; RunFaultyWithBaseline calls this directly so
+// baseline and faulty runs share one setup pass.
+func runFaultyNormalized(cfg Config, fc FaultConfig) (FaultStats, error) {
+	g := cfg.Graph
+	n := g.N()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pb := cfg.Probe // nil-check fast path, as in Run
 
 	// ---- topology liveness (reference-counted for overlapping faults) ----
 	nodeDownCnt := make([]int, n)
-	links := make([][]faultLink, n)
-	slotOf := make([]map[int32]int, n)
-	for u := 0; u < n; u++ {
-		adj := g.Neighbors(int32(u))
-		links[u] = make([]faultLink, len(adj))
-		slotOf[u] = make(map[int32]int, len(adj))
-		for s, v := range adj {
-			slotOf[u][v] = s
-		}
-	}
+	dense := newDenseLinks(g)
 	nodeDead := func(v int32) bool { return nodeDownCnt[v] > 0 }
-	linkDead := func(u, v int32) bool { return links[u][slotOf[u][v]].downCnt > 0 }
+	linkDead := func(u, v int32) bool { return dense.at(int64(u), int64(v)).downCnt > 0 }
 
 	// Epoch bookkeeping: epochCycle[e] is the cycle at which epoch e began
 	// (one bump per cycle that changed the topology).
@@ -217,13 +208,34 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		}
 		tableEpoch[dst] = topoEpoch
 	}
-	// nextHop picks the forwarding hop for a copy at node `at`, preferring
+
+	// ---- flow table and retransmission schedule ----
+	var flows []flowState
+	retryAt := map[int][]int32{}
+	outstandingMeasured := 0
+	var latencySum int64
+
+	e := &engine{
+		pb:         pb,
+		store:      dense,
+		ring:       make([][]earrival, cfg.maxServicePeriod()*cfg.Flits+1),
+		flits:      cfg.Flits,
+		cutThrough: cfg.CutThrough,
+		period:     materializedPeriod(&cfg),
+		total:      cfg.WarmupCycles + cfg.MeasureCycles,
+		hopLimit:   8 * n, // livelock watchdog
+	}
+	e.deadline = e.total + cfg.DrainCycles
+
+	// route picks the forwarding hop for a copy at node `at`, preferring
 	// the (possibly stale) table and falling back to a TTL-bounded detour.
-	// ok=false means the copy is dropped.
-	nextHop := func(at int32, p *fpacket, now int) (nh int32, ok bool) {
-		freshen(p.dst, now)
+	// ok=false means the copy is dropped; the source timeout recovers the
+	// flow.
+	e.route = func(now int, at64 int64, pkt *epacket) (int64, bool, error) {
+		at, dst := int32(at64), int32(pkt.dst)
+		freshen(dst, now)
 		if cfg.Adaptive {
-			opts := allTables[p.dst][at]
+			opts := allTables[dst][at]
 			// Filter to currently-live options (the table may be stale).
 			live := opts[:0:0]
 			for _, v := range opts {
@@ -232,20 +244,20 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 				}
 			}
 			if len(live) > 0 {
-				return live[rng.Intn(len(live))], true
+				return int64(live[rng.Intn(len(live))]), true, nil
 			}
 		} else {
-			h := tables[p.dst][at]
+			h := tables[dst][at]
 			if h >= 0 && !nodeDead(h) && !linkDead(at, h) {
-				return h, true
+				return int64(h), true, nil
 			}
 		}
 		// Detour: misroute to a random live neighbor.
-		if p.ttl <= 0 {
+		if pkt.ttl <= 0 {
 			if pb != nil {
-				pb.Drop(now, int64(p.seq), int64(at), obs.DropTTL)
+				pb.Drop(now, pkt.id, at64, obs.DropTTL)
 			}
-			return 0, false
+			return 0, false, nil
 		}
 		adj := g.Neighbors(at)
 		var live []int32
@@ -256,38 +268,22 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		}
 		if len(live) == 0 {
 			if pb != nil {
-				pb.Drop(now, int64(p.seq), int64(at), obs.DropNoRoute)
+				pb.Drop(now, pkt.id, at64, obs.DropNoRoute)
 			}
-			return 0, false
+			return 0, false, nil
 		}
-		p.ttl--
+		pkt.ttl--
 		st.MisroutedHops++
-		return live[rng.Intn(len(live))], true
+		return int64(live[rng.Intn(len(live))]), true, nil
 	}
-
-	// ---- link service periods (validated by normalize) ----
-	period := func(u, v int32) int {
-		if cfg.PeriodFunc != nil {
-			return cfg.PeriodFunc(u, v)
+	// The hop-count watchdog kills livelocked copies; the flow recovers at
+	// the source.
+	e.onHopLimit = func(now int, at int64, pkt *epacket) error {
+		if pb != nil {
+			pb.Drop(now, pkt.id, at, obs.DropHopLimit)
 		}
-		if cfg.Partition == nil || cfg.Partition.Of[u] == cfg.Partition.Of[v] {
-			return 1
-		}
-		return cfg.OffModulePeriod
+		return nil
 	}
-	maxDelay := cfg.maxServicePeriod() * cfg.Flits
-	type arrival struct {
-		node int32
-		pkt  fpacket
-	}
-	ring := make([][]arrival, maxDelay+1)
-
-	// ---- flow table and retransmission schedule ----
-	var flows []flowState
-	retryAt := map[int][]int32{}
-	outstandingMeasured := 0
-	var latencySum int64
-	hopLimit := 8 * n
 
 	reachable := func(src, dst int32) bool {
 		if nodeDead(src) || nodeDead(dst) {
@@ -312,53 +308,35 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		}
 	}
 
-	// enqueue routes one copy from node `at`: deliver, forward, or drop.
-	var enqueue func(now int, at int32, pkt fpacket)
-	enqueue = func(now int, at int32, pkt fpacket) {
-		f := &flows[pkt.seq]
-		if pkt.dst == at {
-			if f.done {
-				if f.measured {
-					st.Duplicates++
-				}
-				if pb != nil {
-					pb.Drop(now, int64(pkt.seq), int64(at), obs.DropDuplicate)
-				}
-				return
-			}
-			f.done = true
-			lat := now - f.born
+	// Delivery consults the flow table: late copies of an already-done flow
+	// are suppressed as duplicates.
+	e.deliver = func(now int, at int64, pkt *epacket) {
+		f := &flows[pkt.id]
+		if f.done {
 			if f.measured {
-				st.Delivered++
-				outstandingMeasured--
-				latencySum += int64(lat)
-				if lat > st.MaxLatency {
-					st.MaxLatency = lat
-				}
+				st.Duplicates++
 			}
 			if pb != nil {
-				pb.Deliver(now, int64(pkt.seq), int64(at), lat, f.measured)
+				pb.Drop(now, pkt.id, at, obs.DropDuplicate)
 			}
 			return
 		}
-		if pkt.hops >= hopLimit { // livelock watchdog
-			if pb != nil {
-				pb.Drop(now, int64(pkt.seq), int64(at), obs.DropHopLimit)
+		f.done = true
+		lat := now - f.born
+		if f.measured {
+			st.Delivered++
+			outstandingMeasured--
+			latencySum += int64(lat)
+			if lat > st.MaxLatency {
+				st.MaxLatency = lat
 			}
-			return
 		}
-		nh, ok := nextHop(at, &pkt, now)
-		if !ok {
-			return // copy dropped; the source timeout recovers the flow
-		}
-		q := &links[at][slotOf[at][nh]].queue
-		*q = append(*q, pkt)
 		if pb != nil {
-			pb.Enqueue(now, int64(pkt.seq), int64(at), int64(nh), len(*q))
+			pb.Deliver(now, pkt.id, at, lat, f.measured)
 		}
 	}
 
-	applyChange := func(now int, c topoChange) {
+	applyChange := func(now int, c topoChange) error {
 		switch c.kind {
 		case NodeFault:
 			if pb != nil {
@@ -369,13 +347,14 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 				st.FaultsInjected++
 				if nodeDownCnt[c.u] == 1 {
 					// Everything queued at the dead node is lost.
-					for s := range links[c.u] {
+					for s := range dense.links[c.u] {
+						lk := &dense.links[c.u][s]
 						if pb != nil {
-							for _, pkt := range links[c.u][s].queue {
-								pb.Drop(now, int64(pkt.seq), int64(c.u), obs.DropQueueKilled)
+							for _, pkt := range lk.queue {
+								pb.Drop(now, pkt.id, int64(c.u), obs.DropQueueKilled)
 							}
 						}
-						links[c.u][s].queue = links[c.u][s].queue[:0]
+						lk.queue = lk.queue[:0]
 					}
 				}
 			} else {
@@ -386,8 +365,8 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 			if pb != nil {
 				pb.Fault(now, int64(c.u), int64(c.v), false, c.down)
 			}
-			mark := func(a, b int32) {
-				lk := &links[a][slotOf[a][b]]
+			mark := func(a, b int32) error {
+				lk := dense.at(int64(a), int64(b))
 				if c.down {
 					lk.downCnt++
 					if lk.downCnt == 1 && len(lk.queue) > 0 {
@@ -395,16 +374,23 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 						q := lk.queue
 						lk.queue = nil
 						for _, pkt := range q {
-							enqueue(now, a, pkt)
+							if err := e.enqueue(now, int64(a), pkt); err != nil {
+								return err
+							}
 						}
 					}
 				} else {
 					lk.downCnt--
 				}
+				return nil
 			}
-			mark(c.u, c.v)
+			if err := mark(c.u, c.v); err != nil {
+				return err
+			}
 			if !g.Directed {
-				mark(c.v, c.u)
+				if err := mark(c.v, c.u); err != nil {
+					return err
+				}
 			}
 			if c.down {
 				st.FaultsInjected++
@@ -412,18 +398,14 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 				st.FaultsRepaired++
 			}
 		}
+		return nil
 	}
-
-	total := cfg.WarmupCycles + cfg.MeasureCycles
-	deadline := total + cfg.DrainCycles
-	for now := 0; now < deadline; now++ {
-		if pb != nil {
-			pb.Tick(now)
-		}
-		// 1. Apply scheduled topology changes.
+	e.applyChanges = func(now int) error {
 		if cs, hit := changesAt[now]; hit {
 			for _, c := range cs {
-				applyChange(now, c)
+				if err := applyChange(now, c); err != nil {
+					return err
+				}
 			}
 			topoEpoch++
 			epochCycle = append(epochCycle, now)
@@ -431,101 +413,86 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 		for visEpoch < topoEpoch && epochCycle[visEpoch+1]+fc.NotifyDelay <= now {
 			visEpoch++
 		}
-		// 2. Deliver arrivals scheduled for this cycle.
-		slot := now % len(ring)
-		for _, a := range ring[slot] {
-			if nodeDead(a.node) {
-				if pb != nil {
-					pb.Drop(now, int64(a.pkt.seq), int64(a.node), obs.DropDeadRouter)
-				}
-				continue // arrived at a dead router: copy lost
+		return nil
+	}
+	e.arrivalDead = func(now int, node int64, pkt *epacket) bool {
+		if nodeDead(int32(node)) {
+			if pb != nil {
+				pb.Drop(now, pkt.id, node, obs.DropDeadRouter)
 			}
-			enqueue(now, a.node, a.pkt)
+			return true // arrived at a dead router: copy lost
 		}
-		ring[slot] = ring[slot][:0]
-		// 3. Fire retransmission timers.
-		if seqs, hit := retryAt[now]; hit {
-			for _, seq := range seqs {
-				f := &flows[seq]
-				if f.done {
-					continue
-				}
-				if fc.MaxRetries < 0 || f.attempt >= fc.MaxRetries {
-					abandon(now, seq)
-					continue
-				}
-				f.attempt++
-				if f.measured {
-					st.Retransmitted++
-				}
-				if pb != nil {
-					pb.Retransmit(now, int64(seq), int64(f.src), f.attempt)
-				}
-				f.timeout *= 2
-				retryAt[now+f.timeout] = append(retryAt[now+f.timeout], seq)
-				if !nodeDead(f.src) {
-					enqueue(now, f.src, fpacket{dst: f.dst, seq: seq, ttl: maxInt(fc.DetourTTL, 0), measured: f.measured})
-				}
-			}
-			delete(retryAt, now)
+		return false
+	}
+	e.fireRetries = func(now int) error {
+		seqs, hit := retryAt[now]
+		if !hit {
+			return nil
 		}
-		// 4. Inject new traffic.
-		if now < total {
-			for u := 0; u < n; u++ {
-				if rng.Float64() >= cfg.InjectionRate {
-					continue
-				}
-				dst := cfg.Pattern(int32(u), n, rng)
-				if dst == int32(u) || dst < 0 || int(dst) >= n {
-					continue
-				}
-				if nodeDead(int32(u)) || nodeDead(dst) {
-					continue // dead sources stay silent; dead sinks are skipped
-				}
-				measured := now >= cfg.WarmupCycles
-				seq := int32(len(flows))
-				flows = append(flows, flowState{src: int32(u), dst: dst, born: now,
-					timeout: fc.RetransmitTimeout, measured: measured})
-				if measured {
-					st.Injected++
-					outstandingMeasured++
-				}
-				if pb != nil {
-					pb.Inject(now, int64(seq), int64(u), int64(dst), measured)
-				}
-				retryAt[now+fc.RetransmitTimeout] = append(retryAt[now+fc.RetransmitTimeout], seq)
-				enqueue(now, int32(u), fpacket{dst: dst, seq: seq, ttl: maxInt(fc.DetourTTL, 0), measured: measured})
-			}
-		} else if outstandingMeasured == 0 {
-			break
-		}
-		// 5. Advance links: each live, free link transmits its queue head.
-		for u := 0; u < n; u++ {
-			if nodeDead(int32(u)) {
+		for _, seq := range seqs {
+			f := &flows[seq]
+			if f.done {
 				continue
 			}
-			adj := g.Neighbors(int32(u))
-			for s := range links[u] {
-				lk := &links[u][s]
-				if lk.downCnt > 0 || len(lk.queue) == 0 || lk.freeAt > now {
-					continue
+			if fc.MaxRetries < 0 || f.attempt >= fc.MaxRetries {
+				abandon(now, seq)
+				continue
+			}
+			f.attempt++
+			if f.measured {
+				st.Retransmitted++
+			}
+			if pb != nil {
+				pb.Retransmit(now, int64(seq), int64(f.src), f.attempt)
+			}
+			f.timeout *= 2
+			retryAt[now+f.timeout] = append(retryAt[now+f.timeout], seq)
+			if !nodeDead(f.src) {
+				if err := e.enqueue(now, int64(f.src), epacket{id: int64(seq), dst: int64(f.dst),
+					born: now, ttl: maxInt(fc.DetourTTL, 0), measured: f.measured}); err != nil {
+					return err
 				}
-				pkt := lk.queue[0]
-				lk.queue = lk.queue[1:]
-				pkt.hops++
-				p := period(int32(u), adj[s])
-				occupy := p * cfg.Flits
-				lk.freeAt = now + occupy
-				delay := occupy
-				if cfg.CutThrough {
-					delay = p
-				}
-				if pb != nil {
-					pb.Hop(now, int64(pkt.seq), int64(u), int64(adj[s]), occupy, len(lk.queue))
-				}
-				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
 			}
 		}
+		delete(retryAt, now)
+		return nil
+	}
+	e.inject = func(now int) error {
+		for u := 0; u < n; u++ {
+			if rng.Float64() >= cfg.InjectionRate {
+				continue
+			}
+			dst := cfg.Pattern(int32(u), n, rng)
+			if dst == int32(u) || dst < 0 || int(dst) >= n {
+				continue
+			}
+			if nodeDead(int32(u)) || nodeDead(dst) {
+				continue // dead sources stay silent; dead sinks are skipped
+			}
+			measured := now >= cfg.WarmupCycles
+			seq := int32(len(flows))
+			flows = append(flows, flowState{src: int32(u), dst: dst, born: now,
+				timeout: fc.RetransmitTimeout, measured: measured})
+			if measured {
+				st.Injected++
+				outstandingMeasured++
+			}
+			if pb != nil {
+				pb.Inject(now, int64(seq), int64(u), int64(dst), measured)
+			}
+			retryAt[now+fc.RetransmitTimeout] = append(retryAt[now+fc.RetransmitTimeout], seq)
+			if err := e.enqueue(now, int64(u), epacket{id: int64(seq), dst: int64(dst),
+				born: now, ttl: maxInt(fc.DetourTTL, 0), measured: measured}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.canStop = func(int) bool { return outstandingMeasured == 0 }
+	e.blocked = func(lk *elink) bool { return nodeDownCnt[lk.u] > 0 || lk.downCnt > 0 }
+
+	if err := e.run(); err != nil {
+		return st, err
 	}
 	// Flows still pending at the deadline are lost; the measured ones are
 	// the drain-deadline expiries (a subset of Lost).
@@ -534,7 +501,7 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 			if flows[seq].measured {
 				st.Expired++
 			}
-			abandon(deadline, int32(seq))
+			abandon(e.deadline, int32(seq))
 		}
 	}
 	if st.Delivered > 0 {
@@ -550,26 +517,31 @@ func RunFaulty(cfg Config, fc FaultConfig) (FaultStats, error) {
 	return st, nil
 }
 
-// faultLink is one directed link with liveness and an outgoing FIFO.
-type faultLink struct {
-	queue   []fpacket
-	freeAt  int
-	downCnt int
-}
-
 // RunFaultyWithBaseline runs cfg fault-free (Run) and under the plan
 // (RunFaulty), and returns the degraded stats with LatencyInflation filled
-// in as faulty/baseline average latency, plus the baseline itself.
+// in as faulty/baseline average latency, plus the baseline itself. Both runs
+// share one setup pass: the configuration is normalized and the plan
+// validated once, then the two engine variants are assembled from the same
+// normalized inputs.
 func RunFaultyWithBaseline(cfg Config, fc FaultConfig) (FaultStats, Stats, error) {
+	if err := cfg.normalize(); err != nil {
+		return FaultStats{}, Stats{}, err
+	}
+	if err := fc.normalize(); err != nil {
+		return FaultStats{}, Stats{}, err
+	}
+	if err := fc.Plan.Validate(cfg.Graph); err != nil {
+		return FaultStats{}, Stats{}, err
+	}
 	// The baseline is a reference run: detach any probe so collectors see
 	// only the faulty run's traffic.
 	baseCfg := cfg
 	baseCfg.Probe = nil
-	base, err := Run(baseCfg)
+	base, err := runNormalized(baseCfg)
 	if err != nil {
 		return FaultStats{}, Stats{}, err
 	}
-	faulty, err := RunFaulty(cfg, fc)
+	faulty, err := runFaultyNormalized(cfg, fc)
 	if err != nil {
 		return FaultStats{}, Stats{}, err
 	}

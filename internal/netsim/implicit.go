@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
@@ -62,6 +61,17 @@ type ImplicitConfig struct {
 	// (default 4096): algebraic routers are deterministic oracles, and a
 	// buggy one could otherwise cycle a packet forever.
 	MaxHops int
+	// Script injects the listed packets at their scheduled cycles, after
+	// that cycle's random injections (entries are stably sorted by At, so
+	// same-cycle order is preserved). Scripted injections consume no
+	// randomness — adding a script leaves the random traffic stream
+	// bit-for-bit untouched — and are counted in the stats like any other
+	// injection (measured iff At >= WarmupCycles). Every At must lie in
+	// [0, WarmupCycles+MeasureCycles). This is how a collective schedule
+	// (e.g. the sends of a collectives broadcast tree) is replayed through
+	// the simulator, typically with InjectionRate 0 against an idle
+	// network or a positive rate for background load.
+	Script []Injection
 	// Probe observes the run (see internal/obs). Nil (the default) is the
 	// fast path: no obs code runs and the stats are bit-for-bit identical
 	// to an unprobed run — probes watch the simulation, they never steer
@@ -99,6 +109,13 @@ type ImplicitFaultStats struct {
 	Router obs.RouterStats
 }
 
+// Injection is one scripted packet injection; see ImplicitConfig.Script.
+type Injection struct {
+	At  int   // cycle to inject on, in [0, WarmupCycles+MeasureCycles)
+	Src int64 // source node
+	Dst int64 // destination node, != Src
+}
+
 func (cfg *ImplicitConfig) normalize() error {
 	if cfg.Topo == nil || cfg.Topo.N() < 2 {
 		return fmt.Errorf("netsim: need a topology with at least 2 nodes")
@@ -121,70 +138,30 @@ func (cfg *ImplicitConfig) normalize() error {
 	if cfg.MaxHops < 1 {
 		cfg.MaxHops = 4096
 	}
+	n := cfg.Topo.N()
+	for i, sc := range cfg.Script {
+		if sc.At < 0 || sc.At >= cfg.WarmupCycles+cfg.MeasureCycles {
+			return fmt.Errorf("netsim: scripted injection %d at cycle %d outside [0,%d)",
+				i, sc.At, cfg.WarmupCycles+cfg.MeasureCycles)
+		}
+		if sc.Src < 0 || sc.Src >= n || sc.Dst < 0 || sc.Dst >= n || sc.Src == sc.Dst {
+			return fmt.Errorf("netsim: scripted injection %d: invalid pair %d -> %d", i, sc.Src, sc.Dst)
+		}
+	}
+	sort.SliceStable(cfg.Script, func(i, j int) bool { return cfg.Script[i].At < cfg.Script[j].At })
 	return nil
 }
 
-// injectionCount draws the number of packets injected this cycle. Up to
-// 2^16 nodes the per-node Bernoulli draws are simulated exactly, matching
-// the materialized simulator's semantics; beyond that the aggregate count is
-// sampled from the Poisson approximation of Binomial(N, rate) (exact
-// multiplicative sampling for small means, a normal approximation above),
-// because iterating tens of millions of nodes every cycle would dominate the
-// run. Sources are then drawn uniformly, so one node can inject twice in a
-// cycle — a vanishing-probability event at the scales where the
-// approximation is active.
-func injectionCount(n int64, rate float64, rng *rand.Rand) int64 {
-	if n <= 1<<16 {
-		k := int64(0)
-		for i := int64(0); i < n; i++ {
-			if rng.Float64() < rate {
-				k++
-			}
+// implicitPeriod is the link service-period policy of the implicit
+// configurations, shared by RunImplicit and RunImplicitFaulty: links
+// crossing a ModuleOf boundary cost OffModulePeriod, everything else 1.
+func implicitPeriod(cfg *ImplicitConfig) func(u, v int64) int {
+	return func(u, v int64) int {
+		if cfg.ModuleOf == nil || cfg.ModuleOf(u) == cfg.ModuleOf(v) {
+			return 1
 		}
-		return k
+		return cfg.OffModulePeriod
 	}
-	lambda := float64(n) * rate
-	if lambda == 0 {
-		return 0
-	}
-	if lambda < 30 {
-		// Knuth's multiplicative Poisson sampler.
-		limit := math.Exp(-lambda)
-		k := int64(-1)
-		p := 1.0
-		for p > limit {
-			k++
-			p *= rng.Float64()
-		}
-		return k
-	}
-	k := int64(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
-	if k < 0 {
-		k = 0
-	}
-	if k > n {
-		k = n
-	}
-	return k
-}
-
-type ipacket struct {
-	id       int64
-	dst      int64
-	born     int
-	hops     int
-	measured bool
-	// degraded marks a packet that took at least one fault detour
-	// (RunImplicitFaulty only; always false in fault-free runs).
-	degraded bool
-}
-
-// ilink is the FIFO of one directed link u -> v. Only links that currently
-// hold or recently transmitted a packet exist in memory.
-type ilink struct {
-	u, v   int64
-	queue  []ipacket
-	freeAt int
 }
 
 // RunImplicit executes the simulation against an implicit topology. It is
@@ -199,181 +176,106 @@ func RunImplicit(cfg ImplicitConfig) (ImplicitStats, error) {
 		return out, err
 	}
 	n := cfg.Topo.N()
-	deg := int64(cfg.Topo.MaxDegree())
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	pb := cfg.Probe // nil-check fast path: no obs code runs uninstrumented
 	statser, _ := cfg.Router.(routerStatser)
 	var routerBase obs.RouterStats
 	if statser != nil {
 		routerBase = statser.RouterStats()
 	}
 
-	period := func(u, v int64) int {
-		if cfg.ModuleOf == nil || cfg.ModuleOf(u) == cfg.ModuleOf(v) {
-			return 1
-		}
-		return cfg.OffModulePeriod
-	}
-
-	// Sparse link state: key = u*deg + port, where port is the index of the
-	// target in u's sorted neighbor list. active keeps insertion order so
-	// iteration (and therefore the whole run) is deterministic.
-	links := make(map[int64]*ilink)
-	var active []int64
-	nbrBuf := make([]int64, 0, deg)
-	linkFor := func(u, v int64) (*ilink, error) {
-		nbrBuf = cfg.Topo.Neighbors(u, nbrBuf)
-		port := sort.Search(len(nbrBuf), func(i int) bool { return nbrBuf[i] >= v })
-		if port == len(nbrBuf) || nbrBuf[port] != v {
-			return nil, fmt.Errorf("netsim: next hop %d from %d is not a neighbor", v, u)
-		}
-		key := u*deg + int64(port)
-		lk, ok := links[key]
-		if !ok {
-			lk = &ilink{u: u, v: v}
-			links[key] = lk
-			active = append(active, key)
-		}
-		return lk, nil
-	}
-
-	maxDelay := cfg.OffModulePeriod * cfg.Flits
-	type iarrival struct {
-		node int64
-		pkt  ipacket
-	}
-	ring := make([][]iarrival, maxDelay+1)
-
 	st := &out.Stats
 	var latencySum int64
 	inFlightMeasured := 0
-	enqueue := func(now int, at int64, pkt ipacket) error {
-		if pkt.dst == at {
-			lat := now - pkt.born
-			if pkt.measured {
-				st.Delivered++
-				latencySum += int64(lat)
-				if lat > st.MaxLatency {
-					st.MaxLatency = lat
-				}
-			}
-			if pb != nil {
-				pb.Deliver(now, pkt.id, at, lat, pkt.measured)
-			}
-			return nil
-		}
-		if pkt.hops >= cfg.MaxHops {
-			return fmt.Errorf("netsim: packet for %d exceeded %d hops at %d (router livelock?)", pkt.dst, cfg.MaxHops, at)
-		}
+	var nextID int64
+
+	e := &engine{
+		pb:         cfg.Probe, // nil fast path: no obs code runs uninstrumented
+		store:      newSparseLinks(cfg.Topo),
+		ring:       make([][]earrival, cfg.OffModulePeriod*cfg.Flits+1),
+		flits:      cfg.Flits,
+		cutThrough: cfg.CutThrough,
+		period:     implicitPeriod(&cfg),
+		total:      cfg.WarmupCycles + cfg.MeasureCycles,
+		hopLimit:   cfg.MaxHops,
+	}
+	e.deadline = e.total + cfg.DrainCycles
+	e.route = func(_ int, at int64, pkt *epacket) (int64, bool, error) {
 		nh, err := cfg.Router.NextHop(at, pkt.dst)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
-		lk, err := linkFor(at, nh)
-		if err != nil {
-			return err
+		return nh, true, nil
+	}
+	// Algebraic routers are deterministic oracles: a packet that exceeds
+	// the hop budget in a fault-free run means a cycling router, which is a
+	// bug, so the run aborts.
+	e.onHopLimit = func(_ int, at int64, pkt *epacket) error {
+		return fmt.Errorf("netsim: packet for %d exceeded %d hops at %d (router livelock?)", pkt.dst, cfg.MaxHops, at)
+	}
+	e.deliver = func(now int, at int64, pkt *epacket) {
+		lat := now - pkt.born
+		if pkt.measured {
+			st.Delivered++
+			inFlightMeasured--
+			latencySum += int64(lat)
+			if lat > st.MaxLatency {
+				st.MaxLatency = lat
+			}
 		}
-		lk.queue = append(lk.queue, pkt)
-		if pb != nil {
-			pb.Enqueue(now, pkt.id, at, nh, len(lk.queue))
+		if e.pb != nil {
+			e.pb.Deliver(now, pkt.id, at, lat, pkt.measured)
+		}
+	}
+	scriptPos := 0
+	e.inject = func(now int) error {
+		for k := injectionCount(n, cfg.InjectionRate, rng); k > 0; k-- {
+			src := rng.Int63n(n)
+			var dst int64
+			if cfg.Pattern != nil {
+				dst = cfg.Pattern(src, n, rng)
+			} else {
+				dst = uniformDst64(src, n, rng)
+			}
+			if dst == src || dst < 0 || dst >= n {
+				continue
+			}
+			measured := now >= cfg.WarmupCycles
+			if measured {
+				st.Injected++
+				inFlightMeasured++
+			}
+			id := nextID
+			nextID++
+			if e.pb != nil {
+				e.pb.Inject(now, id, src, dst, measured)
+			}
+			if err := e.enqueue(now, src, epacket{id: id, dst: dst, born: now, measured: measured}); err != nil {
+				return err
+			}
+		}
+		for scriptPos < len(cfg.Script) && cfg.Script[scriptPos].At == now {
+			sc := cfg.Script[scriptPos]
+			scriptPos++
+			measured := now >= cfg.WarmupCycles
+			if measured {
+				st.Injected++
+				inFlightMeasured++
+			}
+			id := nextID
+			nextID++
+			if e.pb != nil {
+				e.pb.Inject(now, id, sc.Src, sc.Dst, measured)
+			}
+			if err := e.enqueue(now, sc.Src, epacket{id: id, dst: sc.Dst, born: now, measured: measured}); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
+	e.canStop = func(int) bool { return inFlightMeasured == 0 }
 
-	uniformDst := func(src int64) int64 {
-		d := rng.Int63n(n - 1)
-		if d >= src {
-			d++
-		}
-		return d
-	}
-
-	total := cfg.WarmupCycles + cfg.MeasureCycles
-	deadline := total + cfg.DrainCycles
-	var nextID int64
-	for now := 0; now < deadline; now++ {
-		if pb != nil {
-			pb.Tick(now)
-		}
-		// Deliver arrivals scheduled for this cycle.
-		slot := now % len(ring)
-		for _, a := range ring[slot] {
-			if a.pkt.measured && a.pkt.dst == a.node {
-				inFlightMeasured--
-			}
-			if err := enqueue(now, a.node, a.pkt); err != nil {
-				return out, err
-			}
-		}
-		ring[slot] = ring[slot][:0]
-		// Inject new traffic.
-		if now < total {
-			for k := injectionCount(n, cfg.InjectionRate, rng); k > 0; k-- {
-				src := rng.Int63n(n)
-				var dst int64
-				if cfg.Pattern != nil {
-					dst = cfg.Pattern(src, n, rng)
-				} else {
-					dst = uniformDst(src)
-				}
-				if dst == src || dst < 0 || dst >= n {
-					continue
-				}
-				measured := now >= cfg.WarmupCycles
-				if measured {
-					st.Injected++
-					inFlightMeasured++
-				}
-				id := nextID
-				nextID++
-				if pb != nil {
-					pb.Inject(now, id, src, dst, measured)
-				}
-				if err := enqueue(now, src, ipacket{id: id, dst: dst, born: now, measured: measured}); err != nil {
-					return out, err
-				}
-			}
-		} else if inFlightMeasured == 0 {
-			break
-		}
-		// Advance links: each free link transmits the head of its queue.
-		// Idle links (empty queue, service period elapsed) are dropped from
-		// the map; compaction preserves order for determinism.
-		live := active[:0]
-		for _, key := range active {
-			lk := links[key]
-			if len(lk.queue) == 0 {
-				if lk.freeAt <= now {
-					delete(links, key)
-					continue
-				}
-				live = append(live, key)
-				continue
-			}
-			if lk.freeAt > now {
-				live = append(live, key)
-				continue
-			}
-			pkt := lk.queue[0]
-			lk.queue = lk.queue[1:]
-			if len(lk.queue) == 0 {
-				lk.queue = nil // release the backing array of drained FIFOs
-			}
-			p := period(lk.u, lk.v)
-			occupy := p * cfg.Flits
-			lk.freeAt = now + occupy
-			delay := occupy
-			if cfg.CutThrough {
-				delay = p
-			}
-			pkt.hops++
-			if pb != nil {
-				pb.Hop(now, pkt.id, lk.u, lk.v, occupy, len(lk.queue))
-			}
-			ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], iarrival{node: lk.v, pkt: pkt})
-			live = append(live, key)
-		}
-		active = live
+	if err := e.run(); err != nil {
+		return out, err
 	}
 	st.Expired = inFlightMeasured
 	if st.Delivered > 0 {
@@ -382,10 +284,10 @@ func RunImplicit(cfg ImplicitConfig) (ImplicitStats, error) {
 	if cfg.MeasureCycles > 0 {
 		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
 	}
-	st.fillQuantiles(pb)
+	st.fillQuantiles(e.pb)
 	if statser != nil {
 		out.Router = statser.RouterStats().Delta(routerBase)
-		if ro, ok := pb.(obs.RouterObserver); ok {
+		if ro, ok := e.pb.(obs.RouterObserver); ok {
 			ro.ObserveRouter(out.Router)
 		}
 	}

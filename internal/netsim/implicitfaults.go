@@ -16,7 +16,6 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/obs"
 )
@@ -98,7 +97,6 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 		return out, err
 	}
 	n := cfg.Topo.N()
-	deg := int64(cfg.Topo.MaxDegree())
 	directed := cfg.Topo.Directed()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	faults := fc.Faults
@@ -115,33 +113,6 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 		routerBase = statser.RouterStats()
 	}
 
-	period := func(u, v int64) int {
-		if cfg.ModuleOf == nil || cfg.ModuleOf(u) == cfg.ModuleOf(v) {
-			return 1
-		}
-		return cfg.OffModulePeriod
-	}
-
-	// Sparse link state, exactly as in RunImplicit.
-	links := make(map[int64]*ilink)
-	var active []int64
-	nbrBuf := make([]int64, 0, deg)
-	linkFor := func(u, v int64) (*ilink, error) {
-		nbrBuf = cfg.Topo.Neighbors(u, nbrBuf)
-		port := sort.Search(len(nbrBuf), func(i int) bool { return nbrBuf[i] >= v })
-		if port == len(nbrBuf) || nbrBuf[port] != v {
-			return nil, fmt.Errorf("netsim: next hop %d from %d is not a neighbor", v, u)
-		}
-		key := u*deg + int64(port)
-		lk, ok := links[key]
-		if !ok {
-			lk = &ilink{u: u, v: v}
-			links[key] = lk
-			active = append(active, key)
-		}
-		return lk, nil
-	}
-
 	// Scheduled events, bucketed by cycle (strike and repair).
 	type topoChange struct {
 		kind FaultKind
@@ -150,34 +121,41 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 	}
 	changesAt := map[int][]topoChange{}
 	lastChange := -1
-	for _, e := range fc.Plan.sorted() {
-		changesAt[e.Cycle] = append(changesAt[e.Cycle], topoChange{kind: e.Kind, u: int64(e.U), v: int64(e.V), down: true})
-		if e.Cycle > lastChange {
-			lastChange = e.Cycle
+	for _, ev := range fc.Plan.sorted() {
+		changesAt[ev.Cycle] = append(changesAt[ev.Cycle], topoChange{kind: ev.Kind, u: int64(ev.U), v: int64(ev.V), down: true})
+		if ev.Cycle > lastChange {
+			lastChange = ev.Cycle
 		}
-		if e.Transient() {
-			changesAt[e.Repair] = append(changesAt[e.Repair], topoChange{kind: e.Kind, u: int64(e.U), v: int64(e.V), down: false})
-			if e.Repair > lastChange {
-				lastChange = e.Repair
+		if ev.Transient() {
+			changesAt[ev.Repair] = append(changesAt[ev.Repair], topoChange{kind: ev.Kind, u: int64(ev.U), v: int64(ev.V), down: false})
+			if ev.Repair > lastChange {
+				lastChange = ev.Repair
 			}
 		}
 	}
 
-	maxDelay := cfg.OffModulePeriod * cfg.Flits
-	type iarrival struct {
-		node int64
-		pkt  ipacket
-	}
-	ring := make([][]iarrival, maxDelay+1)
-
 	st := &out.FaultStats
 	var latencySum int64
 	inFlightMeasured := 0
+
+	sparse := newSparseLinks(cfg.Topo)
+	e := &engine{
+		pb:         pb,
+		store:      sparse,
+		ring:       make([][]earrival, cfg.OffModulePeriod*cfg.Flits+1),
+		flits:      cfg.Flits,
+		cutThrough: cfg.CutThrough,
+		period:     implicitPeriod(&cfg),
+		total:      cfg.WarmupCycles + cfg.MeasureCycles,
+		hopLimit:   cfg.MaxHops,
+	}
+	e.deadline = e.total + cfg.DrainCycles
+
 	// lose drops a packet; like RunFaulty, loss counters track measured
 	// traffic only, so Injected == Delivered + Lost + Expired. The probe,
 	// in contrast, sees every dropped copy (measured or not), tagged with
 	// where and why it died.
-	lose := func(now int, at int64, pkt ipacket, reason obs.DropReason) {
+	lose := func(now int, at int64, pkt *epacket, reason obs.DropReason) {
 		if pkt.measured {
 			st.Lost++
 			inFlightMeasured--
@@ -186,33 +164,33 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 			pb.Drop(now, pkt.id, at, reason)
 		}
 	}
-	enqueue := func(now int, at int64, pkt ipacket) error {
-		if pkt.dst == at {
-			lat := now - pkt.born
-			if pkt.measured {
-				st.Delivered++
-				if pkt.degraded {
-					st.DeliveredDegraded++
-				}
-				latencySum += int64(lat)
-				if lat > st.MaxLatency {
-					st.MaxLatency = lat
-				}
+	e.deliver = func(now int, at int64, pkt *epacket) {
+		lat := now - pkt.born
+		if pkt.measured {
+			st.Delivered++
+			if pkt.degraded {
+				st.DeliveredDegraded++
 			}
-			if pb != nil {
-				pb.Deliver(now, pkt.id, at, lat, pkt.measured)
+			inFlightMeasured--
+			latencySum += int64(lat)
+			if lat > st.MaxLatency {
+				st.MaxLatency = lat
 			}
-			return nil
 		}
-		if pkt.hops >= cfg.MaxHops {
-			// Livelock watchdog: under faults a hop-budget overrun is a
-			// property of the fault pattern, so the packet dies, not the run.
-			if pkt.measured {
-				st.HopLimitDrops++
-			}
-			lose(now, at, pkt, obs.DropHopLimit)
-			return nil
+		if pb != nil {
+			pb.Deliver(now, pkt.id, at, lat, pkt.measured)
 		}
+	}
+	// Livelock watchdog: under faults a hop-budget overrun is a property of
+	// the fault pattern, so the packet dies, not the run.
+	e.onHopLimit = func(now int, at int64, pkt *epacket) error {
+		if pkt.measured {
+			st.HopLimitDrops++
+		}
+		lose(now, at, pkt, obs.DropHopLimit)
+		return nil
+	}
+	e.route = func(now int, at int64, pkt *epacket) (int64, bool, error) {
 		var nh int64
 		var detoured bool
 		var err error
@@ -223,29 +201,23 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 		}
 		if err != nil {
 			// Destination dead or no fault-free route derivable: the packet
-			// is lost; the run continues.
+			// is lost; the run continues. (A non-neighbor next hop, by
+			// contrast, is a router bug: the link store's hard error stops
+			// the run.)
 			lose(now, at, pkt, obs.DropNoRoute)
-			return nil
+			return 0, false, nil
 		}
 		pkt.degraded = pkt.degraded || detoured
-		lk, err := linkFor(at, nh)
-		if err != nil {
-			return err // a non-neighbor next hop is a router bug: hard stop
-		}
-		lk.queue = append(lk.queue, pkt)
-		if pb != nil {
-			pb.Enqueue(now, pkt.id, at, nh, len(lk.queue))
-		}
-		return nil
+		return nh, true, nil
 	}
 
 	// strand re-routes everything queued on a link that just died, from the
-	// link's tail node; dead-node drops are handled by the caller.
-	strand := func(now int, lk *ilink) error {
+	// link's tail node; dead-node drops are handled by applyChange.
+	strand := func(now int, lk *elink) error {
 		q := lk.queue
 		lk.queue = nil
 		for _, pkt := range q {
-			if err := enqueue(now, lk.u, pkt); err != nil {
+			if err := e.enqueue(now, lk.u, pkt); err != nil {
 				return err
 			}
 		}
@@ -264,14 +236,12 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 					// Everything queued on the dead node's outgoing links is
 					// lost (first strike or overlapping, the queues are dead
 					// either way).
-					for port := int64(0); port < deg; port++ {
-						if lk, ok := links[c.u*deg+port]; ok {
-							for _, pkt := range lk.queue {
-								lose(now, c.u, pkt, obs.DropQueueKilled)
-							}
-							lk.queue = nil
+					sparse.eachFrom(c.u, func(lk *elink) {
+						for i := range lk.queue {
+							lose(now, c.u, &lk.queue[i], obs.DropQueueKilled)
 						}
-					}
+						lk.queue = nil
+					})
 				}
 			} else {
 				faults.RepairNode(c.u)
@@ -292,12 +262,7 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 					if directed && arc != [2]int64{c.u, c.v} {
 						continue
 					}
-					nbrBuf = cfg.Topo.Neighbors(arc[0], nbrBuf)
-					port := sort.Search(len(nbrBuf), func(i int) bool { return nbrBuf[i] >= arc[1] })
-					if port == len(nbrBuf) || nbrBuf[port] != arc[1] {
-						continue
-					}
-					if lk, ok := links[arc[0]*deg+int64(port)]; ok && len(lk.queue) > 0 {
+					if lk := sparse.peek(arc[0], arc[1]); lk != nil && len(lk.queue) > 0 {
 						if err := strand(now, lk); err != nil {
 							return err
 						}
@@ -313,124 +278,91 @@ func RunImplicitFaulty(cfg ImplicitConfig, fc ImplicitFaultConfig) (ImplicitFaul
 		}
 		return nil
 	}
-
-	uniformDst := func(src int64) int64 {
-		d := rng.Int63n(n - 1)
-		if d >= src {
-			d++
-		}
-		return d
-	}
-
-	total := cfg.WarmupCycles + cfg.MeasureCycles
-	deadline := total + cfg.DrainCycles
-	var nextID int64
-	for now := 0; now < deadline; now++ {
-		if pb != nil {
-			pb.Tick(now)
-		}
-		// 0. Apply scheduled topology changes; the fault-set epoch bump
-		// invalidates the router's cached source routes.
+	// The fault-set epoch bump on each change invalidates the router's
+	// cached source routes.
+	e.applyChanges = func(now int) error {
 		if cs, hit := changesAt[now]; hit {
 			for _, c := range cs {
 				if err := applyChange(now, c); err != nil {
-					return out, err
+					return err
 				}
 			}
 		}
-		// 1. Deliver arrivals scheduled for this cycle.
-		slot := now % len(ring)
-		for _, a := range ring[slot] {
-			if faults != nil && faults.NodeDown(a.node) {
-				// Arrived at a dead router: packet lost.
-				lose(now, a.node, a.pkt, obs.DropDeadRouter)
-				continue
-			}
-			if a.pkt.measured && a.pkt.dst == a.node {
-				inFlightMeasured--
-			}
-			if err := enqueue(now, a.node, a.pkt); err != nil {
-				return out, err
-			}
+		return nil
+	}
+	e.arrivalDead = func(now int, node int64, pkt *epacket) bool {
+		if faults != nil && faults.NodeDown(node) {
+			// Arrived at a dead router: packet lost.
+			lose(now, node, pkt, obs.DropDeadRouter)
+			return true
 		}
-		ring[slot] = ring[slot][:0]
-		// 2. Inject new traffic (same RNG stream as RunImplicit; dead
-		// sources and sinks skip after the draws).
-		if now < total {
-			for k := injectionCount(n, cfg.InjectionRate, rng); k > 0; k-- {
-				src := rng.Int63n(n)
-				var dst int64
-				if cfg.Pattern != nil {
-					dst = cfg.Pattern(src, n, rng)
-				} else {
-					dst = uniformDst(src)
-				}
-				if dst == src || dst < 0 || dst >= n {
-					continue
-				}
-				if faults != nil && (faults.NodeDown(src) || faults.NodeDown(dst)) {
-					continue // dead sources stay silent; dead sinks are skipped
-				}
-				measured := now >= cfg.WarmupCycles
-				if measured {
-					st.Injected++
-					inFlightMeasured++
-				}
-				id := nextID
-				nextID++
-				if pb != nil {
-					pb.Inject(now, id, src, dst, measured)
-				}
-				if err := enqueue(now, src, ipacket{id: id, dst: dst, born: now, measured: measured}); err != nil {
-					return out, err
-				}
+		return false
+	}
+	// Inject new traffic (same RNG stream as RunImplicit; dead sources and
+	// sinks skip after the draws).
+	var nextID int64
+	scriptPos := 0
+	e.inject = func(now int) error {
+		for k := injectionCount(n, cfg.InjectionRate, rng); k > 0; k-- {
+			src := rng.Int63n(n)
+			var dst int64
+			if cfg.Pattern != nil {
+				dst = cfg.Pattern(src, n, rng)
+			} else {
+				dst = uniformDst64(src, n, rng)
 			}
-		} else if inFlightMeasured == 0 && now > lastChange {
-			break
-		}
-		// 3. Advance links: live, free links transmit their queue heads.
-		live := active[:0]
-		for _, key := range active {
-			lk := links[key]
-			if len(lk.queue) == 0 {
-				if lk.freeAt <= now {
-					delete(links, key)
-					continue
-				}
-				live = append(live, key)
+			if dst == src || dst < 0 || dst >= n {
 				continue
 			}
-			if lk.freeAt > now {
-				live = append(live, key)
-				continue
+			if faults != nil && (faults.NodeDown(src) || faults.NodeDown(dst)) {
+				continue // dead sources stay silent; dead sinks are skipped
 			}
-			if faults != nil && (faults.NodeDown(lk.u) || faults.LinkDown(lk.u, lk.v)) {
-				// Dead tail or dead link: the queue waits for a repair (a
-				// link strike re-routes it via strand; this path holds
-				// packets queued on links that died while busy).
-				live = append(live, key)
-				continue
+			measured := now >= cfg.WarmupCycles
+			if measured {
+				st.Injected++
+				inFlightMeasured++
 			}
-			pkt := lk.queue[0]
-			lk.queue = lk.queue[1:]
-			if len(lk.queue) == 0 {
-				lk.queue = nil
-			}
-			p := period(lk.u, lk.v)
-			occupy := p * cfg.Flits
-			lk.freeAt = now + occupy
-			delay := occupy
-			if cfg.CutThrough {
-				delay = p
-			}
-			pkt.hops++
+			id := nextID
+			nextID++
 			if pb != nil {
-				pb.Hop(now, pkt.id, lk.u, lk.v, occupy, len(lk.queue))
+				pb.Inject(now, id, src, dst, measured)
 			}
-			ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], iarrival{node: lk.v, pkt: pkt})
-			live = append(live, key)
+			if err := e.enqueue(now, src, epacket{id: id, dst: dst, born: now, measured: measured}); err != nil {
+				return err
+			}
 		}
-		active = live
+		for scriptPos < len(cfg.Script) && cfg.Script[scriptPos].At == now {
+			sc := cfg.Script[scriptPos]
+			scriptPos++
+			if faults != nil && (faults.NodeDown(sc.Src) || faults.NodeDown(sc.Dst)) {
+				continue // scripted sends obey the same dead-endpoint rule
+			}
+			measured := now >= cfg.WarmupCycles
+			if measured {
+				st.Injected++
+				inFlightMeasured++
+			}
+			id := nextID
+			nextID++
+			if pb != nil {
+				pb.Inject(now, id, sc.Src, sc.Dst, measured)
+			}
+			if err := e.enqueue(now, sc.Src, epacket{id: id, dst: sc.Dst, born: now, measured: measured}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.canStop = func(now int) bool { return inFlightMeasured == 0 && now > lastChange }
+	e.blocked = func(lk *elink) bool {
+		// Dead tail or dead link: the queue waits for a repair (a link
+		// strike re-routes it via strand; this path holds packets queued on
+		// links that died while busy).
+		return faults != nil && (faults.NodeDown(lk.u) || faults.LinkDown(lk.u, lk.v))
+	}
+
+	if err := e.run(); err != nil {
+		return out, err
 	}
 	st.Expired = inFlightMeasured
 	if st.Delivered > 0 {

@@ -253,11 +253,20 @@ func (st *Stats) fillQuantiles(p obs.Probe) {
 	}
 }
 
-type packet struct {
-	id       int64
-	dst      int32
-	born     int
-	measured bool
+// materializedPeriod is the link service-period policy of the materialized
+// configurations, shared by Run and RunFaulty: PeriodFunc overrides
+// everything, otherwise off-module links (per Partition) cost
+// OffModulePeriod and on-module links cost 1.
+func materializedPeriod(cfg *Config) func(u, v int64) int {
+	return func(u, v int64) int {
+		if cfg.PeriodFunc != nil {
+			return cfg.PeriodFunc(int32(u), int32(v)) // >= 1, validated by normalize
+		}
+		if cfg.Partition == nil || cfg.Partition.Of[u] == cfg.Partition.Of[v] {
+			return 1
+		}
+		return cfg.OffModulePeriod
+	}
 }
 
 // Run executes the simulation. For runs that inject failures mid-flight see
@@ -266,6 +275,13 @@ func Run(cfg Config) (Stats, error) {
 	if err := cfg.normalize(); err != nil {
 		return Stats{}, err
 	}
+	return runNormalized(cfg)
+}
+
+// runNormalized assembles the fault-free materialized variant of the engine
+// and runs it. cfg must already be normalized; RunFaultyWithBaseline calls
+// this directly so baseline and faulty runs share one setup pass.
+func runNormalized(cfg Config) (Stats, error) {
 	g := cfg.Graph
 	n := g.N()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -276,169 +292,92 @@ func Run(cfg Config) (Stats, error) {
 	if cfg.Adaptive {
 		allTables = make([][][]int32, n)
 	}
-	nextHop := func(cur, dst int32) (int32, error) {
+
+	st := Stats{}
+	var latencySum int64
+	inFlightMeasured := 0
+	var nextID int64
+
+	e := &engine{
+		pb:         cfg.Probe, // nil fast path: no obs code runs uninstrumented
+		store:      newDenseLinks(g),
+		ring:       make([][]earrival, cfg.maxServicePeriod()*cfg.Flits+1),
+		flits:      cfg.Flits,
+		cutThrough: cfg.CutThrough,
+		period:     materializedPeriod(&cfg),
+		total:      cfg.WarmupCycles + cfg.MeasureCycles,
+	}
+	e.deadline = e.total + cfg.DrainCycles
+	e.route = func(_ int, at int64, pkt *epacket) (int64, bool, error) {
 		if cfg.Router != nil {
-			nh, err := cfg.Router.NextHop(int64(cur), int64(dst))
+			nh, err := cfg.Router.NextHop(at, pkt.dst)
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
-			return int32(nh), nil
+			return nh, true, nil
 		}
+		cur, dst := int32(at), int32(pkt.dst)
 		if cfg.Adaptive {
 			if allTables[dst] == nil {
 				allTables[dst] = route.BFSAllNextHops(g, dst)
 			}
 			opts := allTables[dst][cur]
 			if len(opts) == 0 {
-				return 0, fmt.Errorf("netsim: no route from %d to %d", cur, dst)
+				return 0, false, fmt.Errorf("netsim: no route from %d to %d", cur, dst)
 			}
-			return opts[rng.Intn(len(opts))], nil
+			return int64(opts[rng.Intn(len(opts))]), true, nil
 		}
 		if tables[dst] == nil {
 			tables[dst] = route.BFSNextHops(g, dst)
 		}
 		nh := tables[dst][cur]
 		if nh < 0 {
-			return 0, fmt.Errorf("netsim: no route from %d to %d", cur, dst)
+			return 0, false, fmt.Errorf("netsim: no route from %d to %d", cur, dst)
 		}
-		return nh, nil
+		return int64(nh), true, nil
 	}
-
-	period := func(u, v int32) int {
-		if cfg.PeriodFunc != nil {
-			return cfg.PeriodFunc(u, v) // >= 1, validated by normalize
+	e.deliver = func(now int, at int64, pkt *epacket) {
+		lat := now - pkt.born
+		if pkt.measured {
+			st.Delivered++
+			inFlightMeasured--
+			latencySum += int64(lat)
+			if lat > st.MaxLatency {
+				st.MaxLatency = lat
+			}
 		}
-		if cfg.Partition == nil || cfg.Partition.Of[u] == cfg.Partition.Of[v] {
-			return 1
-		}
-		return cfg.OffModulePeriod
-	}
-
-	// One FIFO per directed link, indexed by (node, neighbor slot).
-	type link struct {
-		queue  []packet
-		freeAt int
-	}
-	links := make([][]link, n)
-	slotOf := make([]map[int32]int, n)
-	for u := 0; u < n; u++ {
-		adj := g.Neighbors(int32(u))
-		links[u] = make([]link, len(adj))
-		slotOf[u] = make(map[int32]int, len(adj))
-		for s, v := range adj {
-			slotOf[u][v] = s
+		if e.pb != nil {
+			e.pb.Deliver(now, pkt.id, at, lat, pkt.measured)
 		}
 	}
-	// Future arrivals ring buffer, sized for the longest possible delay
-	// (a full store-and-forward message on a slow link).
-	maxDelay := cfg.maxServicePeriod() * cfg.Flits
-	type arrival struct {
-		node int32
-		pkt  packet
-	}
-	ring := make([][]arrival, maxDelay+1)
-
-	st := Stats{}
-	pb := cfg.Probe // nil-check fast path: no obs code runs uninstrumented
-	var latencySum int64
-	enqueue := func(now int, at int32, pkt packet) error {
-		if pkt.dst == at {
-			lat := now - pkt.born
-			if pkt.measured {
-				st.Delivered++
-				latencySum += int64(lat)
-				if lat > st.MaxLatency {
-					st.MaxLatency = lat
+	e.inject = func(now int) error {
+		for u := 0; u < n; u++ {
+			if rng.Float64() < cfg.InjectionRate {
+				dst := cfg.Pattern(int32(u), n, rng)
+				if dst == int32(u) || dst < 0 || int(dst) >= n {
+					continue
+				}
+				measured := now >= cfg.WarmupCycles
+				if measured {
+					st.Injected++
+					inFlightMeasured++
+				}
+				id := nextID
+				nextID++
+				if e.pb != nil {
+					e.pb.Inject(now, id, int64(u), int64(dst), measured)
+				}
+				if err := e.enqueue(now, int64(u), epacket{id: id, dst: int64(dst), born: now, measured: measured}); err != nil {
+					return err
 				}
 			}
-			if pb != nil {
-				pb.Deliver(now, pkt.id, int64(at), lat, pkt.measured)
-			}
-			return nil
-		}
-		nh, err := nextHop(at, pkt.dst)
-		if err != nil {
-			return err
-		}
-		slot, ok := slotOf[at][nh]
-		if !ok {
-			return fmt.Errorf("netsim: next hop %d from %d toward %d is not a neighbor", nh, at, pkt.dst)
-		}
-		links[at][slot].queue = append(links[at][slot].queue, pkt)
-		if pb != nil {
-			pb.Enqueue(now, pkt.id, int64(at), int64(nh), len(links[at][slot].queue))
 		}
 		return nil
 	}
+	e.canStop = func(int) bool { return inFlightMeasured == 0 }
 
-	inFlightMeasured := 0
-	var nextID int64
-	total := cfg.WarmupCycles + cfg.MeasureCycles
-	deadline := total + cfg.DrainCycles
-	for now := 0; now < deadline; now++ {
-		if pb != nil {
-			pb.Tick(now)
-		}
-		// Deliver arrivals scheduled for this cycle.
-		slot := now % len(ring)
-		for _, a := range ring[slot] {
-			if a.pkt.measured && a.pkt.dst == a.node {
-				inFlightMeasured--
-			}
-			if err := enqueue(now, a.node, a.pkt); err != nil {
-				return st, err
-			}
-		}
-		ring[slot] = ring[slot][:0]
-		// Inject new traffic.
-		if now < total {
-			for u := 0; u < n; u++ {
-				if rng.Float64() < cfg.InjectionRate {
-					dst := cfg.Pattern(int32(u), n, rng)
-					if dst == int32(u) || dst < 0 || int(dst) >= n {
-						continue
-					}
-					measured := now >= cfg.WarmupCycles
-					if measured {
-						st.Injected++
-						inFlightMeasured++
-					}
-					id := nextID
-					nextID++
-					if pb != nil {
-						pb.Inject(now, id, int64(u), int64(dst), measured)
-					}
-					if err := enqueue(now, int32(u), packet{id: id, dst: dst, born: now, measured: measured}); err != nil {
-						return st, err
-					}
-				}
-			}
-		} else if inFlightMeasured == 0 {
-			break
-		}
-		// Advance links: each free link transmits the head of its queue.
-		for u := 0; u < n; u++ {
-			adj := g.Neighbors(int32(u))
-			for s := range links[u] {
-				lk := &links[u][s]
-				if len(lk.queue) == 0 || lk.freeAt > now {
-					continue
-				}
-				pkt := lk.queue[0]
-				lk.queue = lk.queue[1:]
-				p := period(int32(u), adj[s])
-				occupy := p * cfg.Flits
-				lk.freeAt = now + occupy
-				delay := occupy // store-and-forward: whole message arrives
-				if cfg.CutThrough {
-					delay = p // head proceeds while the tail drains
-				}
-				if pb != nil {
-					pb.Hop(now, pkt.id, int64(u), int64(adj[s]), occupy, len(lk.queue))
-				}
-				ring[(now+delay)%len(ring)] = append(ring[(now+delay)%len(ring)], arrival{node: adj[s], pkt: pkt})
-			}
-		}
+	if err := e.run(); err != nil {
+		return st, err
 	}
 	st.Expired = inFlightMeasured
 	if st.Delivered > 0 {
@@ -447,7 +386,7 @@ func Run(cfg Config) (Stats, error) {
 	if cfg.MeasureCycles > 0 {
 		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
 	}
-	st.fillQuantiles(pb)
+	st.fillQuantiles(e.pb)
 	return st, nil
 }
 

@@ -1,0 +1,633 @@
+// Sharded parallel simulation: RunSharded partitions an implicit topology's
+// nodes by module id into fixed logical lanes, runs one engine per lane, and
+// executes the lanes on Shards worker goroutines under a conservative
+// lookahead window — classic conservative parallel discrete-event simulation
+// with the window set to the minimum cross-lane link delay. Because lanes
+// (not workers) own all mutable state — link FIFOs, arrival rings, RNG
+// streams, routers, fault sets, statistics, probe buffers — and cross-lane
+// packets are exchanged only at window barriers in a fixed (destination
+// lane, source lane, FIFO order) merge, the results are bit-for-bit
+// identical for every Shards value: Shards chooses how many lanes run at
+// once, never what they compute. TestShardedDeterminism pins this.
+//
+// The window works because lanes partition modules: every cross-lane link
+// crosses a module boundary, so its delay is exactly OffModulePeriod (cut-
+// through) or OffModulePeriod*Flits (store-and-forward) cycles, and a packet
+// transmitted during window k cannot arrive before window k+1 begins. Intra-
+// lane traffic never waits for a barrier.
+//
+// RunSharded draws its own per-lane RNG streams (split from Seed), so its
+// statistics are not comparable packet-for-packet with RunImplicit's single
+// global stream; the sequential engines remain the reference for that. What
+// the sharded run preserves is the model: same injection law per node, same
+// routing, same link service, same fault semantics as RunImplicitFaulty.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ModuleSpace is the closed-form module partition the sharded simulator
+// shards by: a dense module id space with uniform module size and an O(1)
+// inverse enumeration. topo.Implicit (nucleus-per-module packing) and
+// topo.SubcubeSpace (hypercube subcubes) implement it. Implementations must
+// be safe for concurrent use — every lane queries the space while routing
+// cross-lane traffic.
+type ModuleSpace interface {
+	// Modules returns the module count M_total; ids are dense in [0, M_total).
+	Modules() int64
+	// Module returns the module id of node u.
+	Module(u int64) int64
+	// ModuleSize returns the uniform node count of every module.
+	ModuleSize() int64
+	// ModuleNode returns the off-th node of module mod, off in
+	// [0, ModuleSize()); enumerating off yields each member exactly once.
+	ModuleNode(mod, off int64) int64
+}
+
+// identitySpace is the degenerate partition used when no ModuleSpace is
+// configured: every node is its own module (and all links have period 1,
+// mirroring ImplicitConfig.ModuleOf == nil).
+type identitySpace struct{ n int64 }
+
+func (s identitySpace) Modules() int64              { return s.n }
+func (s identitySpace) Module(u int64) int64        { return u }
+func (s identitySpace) ModuleSize() int64           { return 1 }
+func (s identitySpace) ModuleNode(m, _ int64) int64 { return m }
+
+// ShardedConfig parameterizes RunSharded.
+type ShardedConfig struct {
+	// NewLane builds one lane's private simulation oracles: the topology,
+	// the router, and (for faulty runs) the fault sink the router consults.
+	// It is called Lanes times, because none of the three is required to be
+	// safe for concurrent use — each lane owns its own instances (e.g. one
+	// topo.NewImplicit + topo.NewFaultAware + topo.NewFaultSet triple per
+	// call). Fault-free runs may return a nil FaultSink.
+	NewLane func() (Topology, Router, FaultSink, error)
+	// Space is the module partition to shard by; lane(u) = Module(u) %
+	// Lanes. Links crossing a module boundary cost OffModulePeriod, links
+	// inside a module cost 1. Nil means no module structure: every link has
+	// period 1 and nodes are dealt to lanes round-robin by id.
+	Space ModuleSpace
+	// InjectionRate, WarmupCycles, MeasureCycles, DrainCycles, Seed, Flits,
+	// CutThrough, OffModulePeriod, MaxHops as in ImplicitConfig. Seed is
+	// split into per-lane streams, so two runs differing only in Shards
+	// draw identical randomness.
+	InjectionRate                            float64
+	WarmupCycles, MeasureCycles, DrainCycles int
+	Seed                                     int64
+	Flits                                    int
+	CutThrough                               bool
+	OffModulePeriod                          int
+	MaxHops                                  int
+	// Shards is the worker goroutine count (default 1). Any value from 1
+	// to Lanes produces identical results; values above Lanes are clamped.
+	Shards int
+	// Lanes is the logical partition count (default 64). It IS part of the
+	// run's identity: changing Lanes re-deals nodes to RNG streams and
+	// changes results; changing Shards never does.
+	Lanes int
+	// Plan schedules faults as in ImplicitFaultConfig (nil/empty =
+	// fault-free). Every lane applies the full plan to its own FaultSink at
+	// the scheduled cycles — liveness is global knowledge — while queue
+	// kills and stranded-packet re-routes happen only in the owning lane.
+	Plan *FaultPlan
+	// Pattern as in ImplicitConfig; it must depend only on its arguments
+	// (it is called from concurrent lanes with per-lane RNGs).
+	Pattern func(src int64, n int64, rng *rand.Rand) int64
+	// Probe observes the run. Lanes buffer their events privately
+	// (obs.EventLog) and the coordinator replays them between windows —
+	// Tick(c), then each lane's cycle-c events in lane order — so the
+	// probe runs on one goroutine and sees one deterministic sequence
+	// regardless of Shards.
+	Probe obs.Probe
+}
+
+func (cfg *ShardedConfig) normalize() error {
+	if cfg.NewLane == nil {
+		return fmt.Errorf("netsim: sharded runs need a NewLane factory")
+	}
+	if cfg.InjectionRate < 0 || cfg.InjectionRate > 1 {
+		return fmt.Errorf("netsim: injection rate %v out of [0,1]", cfg.InjectionRate)
+	}
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 64
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.Lanes {
+		cfg.Shards = cfg.Lanes
+	}
+	if cfg.OffModulePeriod < 1 {
+		cfg.OffModulePeriod = 1
+	}
+	if cfg.DrainCycles == 0 {
+		cfg.DrainCycles = 10 * (cfg.WarmupCycles + cfg.MeasureCycles)
+	}
+	if cfg.Flits < 1 {
+		cfg.Flits = 1
+	}
+	if cfg.MaxHops < 1 {
+		cfg.MaxHops = 4096
+	}
+	return nil
+}
+
+// laneSeed splits the run seed into per-lane streams (splitmix64 finalizer:
+// well-mixed, collision-free in the lane index).
+func laneSeed(seed int64, lane int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(lane+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// laneSend is one cross-lane packet in a lane's outbox: deliver pkt to node
+// at the given cycle, in the destination lane's ring.
+type laneSend struct {
+	cycle int
+	node  int64
+	pkt   epacket
+}
+
+// laneChange is a scheduled fault event in the form every lane applies.
+type laneChange struct {
+	kind FaultKind
+	u, v int64
+	down bool
+}
+
+// planChanges buckets the plan by cycle and returns the last event cycle
+// (-1 for an empty plan). The map is built once and read concurrently.
+func planChanges(p *FaultPlan) (map[int][]laneChange, int) {
+	changesAt := map[int][]laneChange{}
+	lastChange := -1
+	for _, ev := range p.sorted() {
+		changesAt[ev.Cycle] = append(changesAt[ev.Cycle], laneChange{kind: ev.Kind, u: int64(ev.U), v: int64(ev.V), down: true})
+		if ev.Cycle > lastChange {
+			lastChange = ev.Cycle
+		}
+		if ev.Transient() {
+			changesAt[ev.Repair] = append(changesAt[ev.Repair], laneChange{kind: ev.Kind, u: int64(ev.U), v: int64(ev.V), down: false})
+			if ev.Repair > lastChange {
+				lastChange = ev.Repair
+			}
+		}
+	}
+	return changesAt, lastChange
+}
+
+// simLane is one lane: an engine plus everything it owns.
+type simLane struct {
+	idx    int
+	topo   Topology
+	router Router
+	faults FaultSink
+	eng    *engine
+	sparse *sparseLinks
+	rng    *rand.Rand
+	log    *obs.EventLog
+	outbox [][]laneSend // indexed by destination lane
+
+	st         FaultStats
+	latencySum int64
+	inFlight   int // measured packets injected here minus measured packets retired here (may go negative; the lane sum is the global in-flight count)
+	nOwned     int64
+	nextSeq    int64
+	err        error
+
+	statser                 routerStatser
+	routerBase              obs.RouterStats
+	counter                 rerouteCounter
+	rerouteBase, detourBase uint64
+}
+
+// RunSharded executes the implicit-topology simulation partitioned into
+// cfg.Lanes lanes on cfg.Shards workers. Results are deterministic in the
+// configuration minus Shards: for fixed everything-else, every Shards value
+// produces identical ImplicitFaultStats and an identical probe event
+// sequence. With a nil/empty Plan the fault machinery is disabled and the
+// run mirrors RunImplicit's semantics; with a plan it mirrors
+// RunImplicitFaulty's (drops counted, no retransmission).
+func RunSharded(cfg ShardedConfig) (ImplicitFaultStats, error) {
+	var out ImplicitFaultStats
+	if err := cfg.normalize(); err != nil {
+		return out, err
+	}
+	faulty := cfg.Plan.Len() > 0
+
+	lanes := make([]*simLane, cfg.Lanes)
+	for i := range lanes {
+		t, r, fs, err := cfg.NewLane()
+		if err != nil {
+			return out, fmt.Errorf("netsim: lane %d: %w", i, err)
+		}
+		if t == nil || r == nil {
+			return out, fmt.Errorf("netsim: lane %d: NewLane returned a nil topology or router", i)
+		}
+		if faulty && fs == nil {
+			return out, fmt.Errorf("netsim: lane %d: a fault plan needs a FaultSink shared with the lane's router", i)
+		}
+		lanes[i] = &simLane{idx: i, topo: t, router: r, faults: fs}
+	}
+	n := lanes[0].topo.N()
+	if n < 2 {
+		return out, fmt.Errorf("netsim: need a topology with at least 2 nodes")
+	}
+	directed := lanes[0].topo.Directed()
+	for _, ln := range lanes[1:] {
+		if ln.topo.N() != n {
+			return out, fmt.Errorf("netsim: lane %d topology has %d nodes, lane 0 has %d", ln.idx, ln.topo.N(), n)
+		}
+	}
+	if err := cfg.Plan.ValidateTopo(lanes[0].topo); err != nil {
+		return out, err
+	}
+
+	space := cfg.Space
+	if space == nil {
+		space = identitySpace{n: n}
+	}
+	if space.Modules()*space.ModuleSize() != n {
+		return out, fmt.Errorf("netsim: module space covers %d*%d nodes, topology has %d",
+			space.Modules(), space.ModuleSize(), n)
+	}
+	L := int64(cfg.Lanes)
+	laneOf := func(u int64) int { return int(space.Module(u) % L) }
+	period := func(u, v int64) int {
+		if cfg.Space == nil || space.Module(u) == space.Module(v) {
+			return 1
+		}
+		return cfg.OffModulePeriod
+	}
+	// The conservative lookahead: every cross-lane link crosses a module
+	// boundary, so its delay is exactly this many cycles and arrivals from
+	// window k land in window k+1 or later.
+	crossPeriod := 1
+	if cfg.Space != nil {
+		crossPeriod = cfg.OffModulePeriod
+	}
+	window := crossPeriod
+	if !cfg.CutThrough {
+		window *= cfg.Flits
+	}
+	ringLen := crossPeriod*cfg.Flits + 1
+
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	deadline := total + cfg.DrainCycles
+	changesAt, lastChange := planChanges(cfg.Plan)
+	M, S := space.Modules(), space.ModuleSize()
+
+	for _, ln := range lanes {
+		ln := ln
+		ln.rng = rand.New(rand.NewSource(laneSeed(cfg.Seed, ln.idx)))
+		ln.outbox = make([][]laneSend, cfg.Lanes)
+		ln.sparse = newSparseLinks(ln.topo)
+		if int64(ln.idx) < M {
+			ln.nOwned = ((M-1-int64(ln.idx))/L + 1) * S
+		}
+		ln.statser, _ = ln.router.(routerStatser)
+		if ln.statser != nil {
+			ln.routerBase = ln.statser.RouterStats()
+		}
+		ln.counter, _ = ln.router.(rerouteCounter)
+		if ln.counter != nil {
+			ln.rerouteBase, ln.detourBase = ln.counter.RerouteCounts()
+		}
+		ln.eng = &engine{
+			store:      ln.sparse,
+			ring:       make([][]earrival, ringLen),
+			flits:      cfg.Flits,
+			cutThrough: cfg.CutThrough,
+			period:     period,
+			total:      total,
+			deadline:   deadline,
+			hopLimit:   cfg.MaxHops,
+			canStop:    func(int) bool { return false }, // the coordinator stops runs at barriers
+		}
+		if cfg.Probe != nil {
+			ln.log = &obs.EventLog{}
+			ln.eng.pb = ln.log
+		}
+		e, pb := ln.eng, ln.eng.pb
+		lose := func(now int, at int64, pkt *epacket, reason obs.DropReason) {
+			if pkt.measured {
+				ln.st.Lost++
+				ln.inFlight--
+			}
+			if pb != nil {
+				pb.Drop(now, pkt.id, at, reason)
+			}
+		}
+		e.deliver = func(now int, at int64, pkt *epacket) {
+			lat := now - pkt.born
+			if pkt.measured {
+				ln.st.Delivered++
+				if pkt.degraded {
+					ln.st.DeliveredDegraded++
+				}
+				ln.inFlight--
+				ln.latencySum += int64(lat)
+				if lat > ln.st.MaxLatency {
+					ln.st.MaxLatency = lat
+				}
+			}
+			if pb != nil {
+				pb.Deliver(now, pkt.id, at, lat, pkt.measured)
+			}
+		}
+		flagged, _ := ln.router.(flaggedRouter)
+		e.route = func(now int, at int64, pkt *epacket) (int64, bool, error) {
+			var nh int64
+			var detoured bool
+			var err error
+			if faulty && flagged != nil {
+				nh, detoured, err = flagged.NextHopFlagged(at, pkt.dst)
+			} else {
+				nh, err = ln.router.NextHop(at, pkt.dst)
+			}
+			if err != nil {
+				if !faulty {
+					return 0, false, err
+				}
+				lose(now, at, pkt, obs.DropNoRoute)
+				return 0, false, nil
+			}
+			pkt.degraded = pkt.degraded || detoured
+			return nh, true, nil
+		}
+		e.onHopLimit = func(now int, at int64, pkt *epacket) error {
+			if !faulty {
+				return fmt.Errorf("netsim: packet for %d exceeded %d hops at %d (router livelock?)", pkt.dst, cfg.MaxHops, at)
+			}
+			if pkt.measured {
+				ln.st.HopLimitDrops++
+			}
+			lose(now, at, pkt, obs.DropHopLimit)
+			return nil
+		}
+		e.crossSend = func(now, delay int, dst int64, pkt epacket) bool {
+			d := laneOf(dst)
+			if d == ln.idx {
+				return false
+			}
+			ln.outbox[d] = append(ln.outbox[d], laneSend{cycle: now + delay, node: dst, pkt: pkt})
+			return true
+		}
+		e.inject = func(now int) error {
+			for k := injectionCount(ln.nOwned, cfg.InjectionRate, ln.rng); k > 0; k-- {
+				i := ln.rng.Int63n(ln.nOwned)
+				src := space.ModuleNode(int64(ln.idx)+(i/S)*L, i%S)
+				var dst int64
+				if cfg.Pattern != nil {
+					dst = cfg.Pattern(src, n, ln.rng)
+				} else {
+					dst = uniformDst64(src, n, ln.rng)
+				}
+				if dst == src || dst < 0 || dst >= n {
+					continue
+				}
+				if faulty && (ln.faults.NodeDown(src) || ln.faults.NodeDown(dst)) {
+					continue // dead sources stay silent; dead sinks are skipped
+				}
+				measured := now >= cfg.WarmupCycles
+				if measured {
+					ln.st.Injected++
+					ln.inFlight++
+				}
+				id := ln.nextSeq*L + int64(ln.idx) // unique and Shards-independent
+				ln.nextSeq++
+				if pb != nil {
+					pb.Inject(now, id, src, dst, measured)
+				}
+				if err := e.enqueue(now, src, epacket{id: id, dst: dst, born: now, measured: measured}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if faulty {
+			strand := func(now int, lk *elink) error {
+				q := lk.queue
+				lk.queue = nil
+				for _, pkt := range q {
+					if err := e.enqueue(now, lk.u, pkt); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			// Every lane applies the liveness change to its own sink (the
+			// routers need global knowledge); only the lane owning the
+			// affected queues performs the side effects and emits the probe
+			// event.
+			applyChange := func(now int, c laneChange) error {
+				switch c.kind {
+				case NodeFault:
+					owned := laneOf(c.u) == ln.idx
+					if owned && pb != nil {
+						pb.Fault(now, c.u, -1, true, c.down)
+					}
+					if !c.down {
+						ln.faults.RepairNode(c.u)
+						return nil
+					}
+					ln.faults.FailNode(c.u)
+					if owned && ln.faults.NodeDown(c.u) {
+						ln.sparse.eachFrom(c.u, func(lk *elink) {
+							for i := range lk.queue {
+								lose(now, c.u, &lk.queue[i], obs.DropQueueKilled)
+							}
+							lk.queue = nil
+						})
+					}
+				case LinkFault:
+					if laneOf(c.u) == ln.idx && pb != nil {
+						pb.Fault(now, c.u, c.v, false, c.down)
+					}
+					if !c.down {
+						ln.faults.RepairLink(c.u, c.v)
+						if !directed {
+							ln.faults.RepairLink(c.v, c.u)
+						}
+						return nil
+					}
+					ln.faults.FailLink(c.u, c.v)
+					if !directed {
+						ln.faults.FailLink(c.v, c.u)
+					}
+					for _, arc := range [2][2]int64{{c.u, c.v}, {c.v, c.u}} {
+						if directed && arc != [2]int64{c.u, c.v} {
+							continue
+						}
+						if laneOf(arc[0]) != ln.idx {
+							continue
+						}
+						if lk := ln.sparse.peek(arc[0], arc[1]); lk != nil && len(lk.queue) > 0 {
+							if err := strand(now, lk); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				return nil
+			}
+			e.applyChanges = func(now int) error {
+				if cs, hit := changesAt[now]; hit {
+					for _, c := range cs {
+						if err := applyChange(now, c); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			e.arrivalDead = func(now int, node int64, pkt *epacket) bool {
+				if ln.faults.NodeDown(node) {
+					lose(now, node, pkt, obs.DropDeadRouter)
+					return true
+				}
+				return false
+			}
+			e.blocked = func(lk *elink) bool {
+				return ln.faults.NodeDown(lk.u) || ln.faults.LinkDown(lk.u, lk.v)
+			}
+		}
+	}
+
+	// The window loop: lanes run [start, end) in parallel, then the
+	// coordinator merges cross-lane outboxes in (destination lane, source
+	// lane, FIFO) order, replays the probe, and decides termination.
+	start := 0
+	for start < deadline {
+		if start >= total {
+			inFlight := 0
+			for _, ln := range lanes {
+				inFlight += ln.inFlight
+			}
+			if inFlight == 0 && start > lastChange {
+				break
+			}
+		}
+		end := start + window
+		if end > deadline {
+			end = deadline
+		}
+		if cfg.Shards == 1 {
+			for _, ln := range lanes {
+				ln.runWindow(start, end)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < cfg.Shards; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for li := w; li < cfg.Lanes; li += cfg.Shards {
+						lanes[li].runWindow(start, end)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		for _, ln := range lanes {
+			if ln.err != nil {
+				return out, ln.err
+			}
+		}
+		for _, dst := range lanes {
+			for _, src := range lanes {
+				box := src.outbox[dst.idx]
+				for _, snd := range box {
+					slot := snd.cycle % ringLen
+					dst.eng.ring[slot] = append(dst.eng.ring[slot], earrival{node: snd.node, pkt: snd.pkt})
+				}
+				src.outbox[dst.idx] = box[:0]
+			}
+		}
+		if cfg.Probe != nil {
+			for c := start; c < end; c++ {
+				cfg.Probe.Tick(c)
+				for _, ln := range lanes {
+					ln.log.ReplayCycle(c, cfg.Probe)
+				}
+			}
+			for _, ln := range lanes {
+				ln.log.Reset()
+			}
+		}
+		start = end
+	}
+
+	st := &out.FaultStats
+	var latencySum int64
+	inFlight := 0
+	anyRouterStats := false
+	for _, ln := range lanes {
+		st.Injected += ln.st.Injected
+		st.Delivered += ln.st.Delivered
+		st.Lost += ln.st.Lost
+		st.DeliveredDegraded += ln.st.DeliveredDegraded
+		st.HopLimitDrops += ln.st.HopLimitDrops
+		if ln.st.MaxLatency > st.MaxLatency {
+			st.MaxLatency = ln.st.MaxLatency
+		}
+		latencySum += ln.latencySum
+		inFlight += ln.inFlight
+		if ln.counter != nil {
+			re, dh := ln.counter.RerouteCounts()
+			st.RerouteEvents += int(re - ln.rerouteBase)
+			st.MisroutedHops += int(dh - ln.detourBase)
+		}
+		if ln.statser != nil {
+			anyRouterStats = true
+			out.Router = out.Router.Add(ln.statser.RouterStats().Delta(ln.routerBase))
+		}
+	}
+	st.Expired = inFlight
+	if st.Delivered > 0 {
+		st.AvgLatency = float64(latencySum) / float64(st.Delivered)
+	}
+	if cfg.MeasureCycles > 0 {
+		st.Throughput = float64(st.Delivered) / float64(n) / float64(cfg.MeasureCycles)
+	}
+	if faulty {
+		// Fault event accounting is deterministic from the plan and the stop
+		// cycle (every lane applied the same events at the same cycles).
+		for _, ev := range cfg.Plan.sorted() {
+			if ev.Cycle < start {
+				st.FaultsInjected++
+			}
+			if ev.Transient() && ev.Repair < start {
+				st.FaultsRepaired++
+			}
+		}
+	}
+	st.fillQuantiles(cfg.Probe)
+	if anyRouterStats {
+		if ro, ok := cfg.Probe.(obs.RouterObserver); ok {
+			ro.ObserveRouter(out.Router)
+		}
+	}
+	return out, nil
+}
+
+// runWindow steps the lane's engine through cycles [start, end); an error
+// parks in ln.err for the coordinator (lane errors must not tear down other
+// lanes mid-window).
+func (ln *simLane) runWindow(start, end int) {
+	if ln.err != nil {
+		return
+	}
+	for c := start; c < end; c++ {
+		if _, err := ln.eng.step(c); err != nil {
+			ln.err = err
+			return
+		}
+	}
+}

@@ -79,6 +79,29 @@ func (s RouterStats) Delta(base RouterStats) RouterStats {
 	return d
 }
 
+// Add returns the field-wise sum of two snapshots. The sharded simulator
+// uses it to merge the per-lane router deltas into one run-level snapshot;
+// CacheOccupancy, though a gauge, is summed too — each lane owns a separate
+// router, so the sum is the total cached-suffix population of the run.
+func (s RouterStats) Add(t RouterStats) RouterStats {
+	a := RouterStats{
+		CacheHits:           s.CacheHits + t.CacheHits,
+		CacheMisses:         s.CacheMisses + t.CacheMisses,
+		CacheEvicted:        s.CacheEvicted + t.CacheEvicted,
+		CacheClears:         s.CacheClears + t.CacheClears,
+		CacheOccupancy:      s.CacheOccupancy + t.CacheOccupancy,
+		EpochPurges:         s.EpochPurges + t.EpochPurges,
+		Reroutes:            s.Reroutes + t.Reroutes,
+		ConjugateReroutes:   s.ConjugateReroutes + t.ConjugateReroutes,
+		LocalDetourReroutes: s.LocalDetourReroutes + t.LocalDetourReroutes,
+		DetourHops:          s.DetourHops + t.DetourHops,
+	}
+	for i := range s.DetourDepth {
+		a.DetourDepth[i] = s.DetourDepth[i] + t.DetourDepth[i]
+	}
+	return a
+}
+
 // CacheHitRate returns hits / (hits + misses), or 0 with no lookups.
 func (s RouterStats) CacheHitRate() float64 {
 	total := s.CacheHits + s.CacheMisses

@@ -27,7 +27,6 @@ type Implicit struct {
 
 	lblBuf  symbols.Label // current-node label scratch
 	nbrBuf  symbols.Label // neighbor label scratch
-	idBuf   symbols.Label // ID() scratch (distinct: Label() results must survive ID() calls)
 	nameStr string
 }
 
@@ -46,7 +45,6 @@ func NewImplicit(s *core.SuperIP) (*Implicit, error) {
 		directed: !perm.ClosedUnderInverse(ip.Gens),
 		lblBuf:   make(symbols.Label, rk.LabelLen()),
 		nbrBuf:   make(symbols.Label, rk.LabelLen()),
-		idBuf:    make(symbols.Label, rk.LabelLen()),
 		nameStr:  s.Name,
 	}, nil
 }
@@ -120,14 +118,44 @@ func (t *Implicit) ID(x symbols.Label) int64 {
 func (t *Implicit) Modules() int64 { return t.rk.Modules() }
 
 // Module returns the module id of node u; it panics if u is out of range.
+// Unlike the label-space methods it is closed-form integer arithmetic
+// (core.Ranker.ModuleOfID) and safe for concurrent use — the sharded
+// simulator calls it from every lane.
 func (t *Implicit) Module(u int64) int64 {
-	t.idBuf = t.rk.Unrank(u, t.idBuf)
-	mod, err := t.rk.ModuleOf(t.idBuf)
-	if err != nil {
-		panic(fmt.Sprintf("topo: %s: module of node %d: %v", t.nameStr, u, err))
+	if u < 0 || u >= t.rk.N() {
+		panic(fmt.Sprintf("topo: %s: module of node %d: out of range", t.nameStr, u))
 	}
-	return mod
+	return t.rk.ModuleOfID(u)
 }
+
+// ModuleSize returns M, the uniform node count of every module.
+func (t *Implicit) ModuleSize() int64 { return t.rk.ModuleSize() }
+
+// ModuleNode returns the off-th node of module mod (the inverse enumeration
+// of Module); safe for concurrent use. Together with Modules, Module, and
+// ModuleSize this makes *Implicit a netsim.ModuleSpace: the sharded
+// simulator partitions and enumerates lanes without materializing anything.
+func (t *Implicit) ModuleNode(mod, off int64) int64 { return t.rk.ModuleNode(mod, off) }
+
+// SubcubeSpace partitions the n-cube Q_Dim into 2^(Dim-Low) subcube modules
+// of 2^Low nodes each: module ids are the high Dim-Low address bits. It is
+// the hypercube counterpart of the nucleus-per-module packing — the module
+// view the sharded simulator needs (netsim.ModuleSpace) for a topology that
+// has no super-IP structure. All methods are pure arithmetic and safe for
+// concurrent use.
+type SubcubeSpace struct{ Dim, Low int }
+
+// Modules returns 2^(Dim-Low).
+func (s SubcubeSpace) Modules() int64 { return int64(1) << uint(s.Dim-s.Low) }
+
+// Module returns the high-bit module id of node u.
+func (s SubcubeSpace) Module(u int64) int64 { return u >> uint(s.Low) }
+
+// ModuleSize returns 2^Low.
+func (s SubcubeSpace) ModuleSize() int64 { return int64(1) << uint(s.Low) }
+
+// ModuleNode returns the off-th node of module mod.
+func (s SubcubeSpace) ModuleNode(mod, off int64) int64 { return mod<<uint(s.Low) | off }
 
 // HypercubeTopo is the implicit binary n-cube Q_dim: node ids are bit
 // strings and neighbors differ in exactly one bit. Safe for concurrent use.
